@@ -1,0 +1,310 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (quick-mode sweeps; run cmd/experiments for the full paper-scale output),
+// plus micro-benchmarks of the simulation substrates.
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports the headline metric of its experiment as a
+// custom metric so regressions in the simulated results are visible next to
+// the runtime numbers.
+package tpsim_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/cc"
+	"repro/internal/experiments"
+	"repro/internal/lru"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var benchOpts = experiments.Options{Quick: true, Seed: 1}
+
+// --- one benchmark per paper table/figure (DESIGN.md experiment index) ---
+
+// BenchmarkFig41LogAllocation regenerates Fig 4.1 (log file allocation).
+func BenchmarkFig41LogAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig41(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig42DBAllocation regenerates Fig 4.2 (database allocation).
+func BenchmarkFig42DBAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig42(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: disk vs NVEM-resident response at the highest rate.
+		last := len(fig.X) - 1
+		b.ReportMetric(fig.Series[0].Points[last], "disk-ms")
+		b.ReportMetric(fig.Series[4].Points[last], "nvem-ms")
+	}
+}
+
+// BenchmarkFig43ForceVsNoforce regenerates Fig 4.3 (update strategy).
+func BenchmarkFig43ForceVsNoforce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig43(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig44MMBufferSweep regenerates Fig 4.4 (caching vs MM size).
+func BenchmarkFig44MMBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig44(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable42aHitRatiosNoforce regenerates Table 4.2a.
+func BenchmarkTable42aHitRatiosNoforce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table42(benchOpts, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: the paper's 72.5% MM hit ratio at a 2000-page buffer.
+		b.ReportMetric(tbl.Cells[0][len(tbl.Columns)-1], "mmhit-pct")
+	}
+}
+
+// BenchmarkTable42bHitRatiosForce regenerates Table 4.2b.
+func BenchmarkTable42bHitRatiosForce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table42(benchOpts, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig45SecondLevelSweep regenerates Fig 4.5 (2nd-level size).
+func BenchmarkFig45SecondLevelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig45(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig46TraceMMSweep regenerates Fig 4.6 (trace workload, MM sweep).
+func BenchmarkFig46TraceMMSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig46(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig47TraceSecondLevelSweep regenerates Fig 4.7.
+func BenchmarkFig47TraceSecondLevelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig47(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig48LockContention regenerates Fig 4.8 (lock contention).
+func BenchmarkFig48LockContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig48(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable21CostModel regenerates Table 2.1 with the
+// cost-effectiveness analysis.
+func BenchmarkTable21CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table21(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md A1-A4) ---
+
+// BenchmarkAblationGroupCommit regenerates ablation A1.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGroupCommit(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAsyncReplacement regenerates ablation A2.
+func BenchmarkAblationAsyncReplacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAsyncReplacement(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMigrationModes regenerates ablation A3.
+func BenchmarkAblationMigrationModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMigrationModes(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDestagePolicy regenerates ablation A4.
+func BenchmarkAblationDestagePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDestagePolicy(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- single-configuration engine benchmarks ---
+
+// BenchmarkEngineDebitCreditDisk runs one disk-based Debit-Credit simulation
+// per iteration (the paper's baseline configuration).
+func BenchmarkEngineDebitCreditDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DCSetup{
+			Rate: 500,
+			DB:   experiments.DBSpec{Kind: experiments.DBRegular},
+			Log:  experiments.LogSpec{Kind: LogDiskKind},
+		}.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RespMean, "resp-ms")
+		b.ReportMetric(res.Throughput, "tps")
+	}
+}
+
+// LogDiskKind mirrors experiments.LogDisk for readability in the benchmark.
+const LogDiskKind = experiments.LogDisk
+
+// BenchmarkEngineDebitCreditNVEM runs the NVEM-resident configuration.
+func BenchmarkEngineDebitCreditNVEM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DCSetup{
+			Rate: 500,
+			DB:   experiments.DBSpec{Kind: experiments.DBNVEMResident},
+			Log:  experiments.LogSpec{Kind: experiments.LogNVEM},
+		}.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RespMean, "resp-ms")
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimKernel measures raw event throughput of the DES kernel.
+func BenchmarkSimKernel(b *testing.B) {
+	s := sim.New()
+	s.Spawn("ticker", 0, func(p *sim.Process) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkSimResource measures acquire/hold/release cycles.
+func BenchmarkSimResource(b *testing.B) {
+	s := sim.New()
+	r := s.NewResource("dev", 2)
+	s.Spawn("user", 0, func(p *sim.Process) {
+		for i := 0; i < b.N; i++ {
+			r.Use(p, 0.5)
+		}
+	})
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkLockManager measures uncontended acquire+release pairs.
+func BenchmarkLockManager(b *testing.B) {
+	m := cc.NewManager(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := cc.TxnID(i)
+		for g := int64(0); g < 8; g++ {
+			m.Acquire(txn, cc.Granule{Partition: 0, ID: g}, cc.Write)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+// BenchmarkLRU measures the cache structure under a skewed access mix.
+func BenchmarkLRU(b *testing.B) {
+	c := lru.New[int64, bool](2000)
+	s := rng.NewStream(1, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := s.Int63n(10_000)
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, true)
+		}
+	}
+}
+
+// BenchmarkDebitCreditGen measures transaction generation.
+func BenchmarkDebitCreditGen(b *testing.B) {
+	g, err := workload.NewDebitCredit(workload.DefaultDebitCreditConfig(500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rng.NewStream(1, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := g.Next(0, s)
+		if len(tx.Accesses) != 4 {
+			b.Fatal("bad tx")
+		}
+	}
+}
+
+// BenchmarkSyntheticGen measures the general synthetic generator.
+func BenchmarkSyntheticGen(b *testing.B) {
+	m := &workload.Model{
+		Partitions: []workload.Partition{
+			{Name: "hot", NumObjects: 10_000, BlockFactor: 10, Subpartitions: workload.BCRule(0.8, 0.2)},
+			{Name: "cold", NumObjects: 100_000, BlockFactor: 10},
+		},
+		TxTypes: []workload.TxType{
+			{Name: "u", ArrivalRate: 1, TxSize: 10, WriteProb: 1, VarSize: true, RefRow: []float64{0.8, 0.2}},
+		},
+	}
+	g, err := workload.NewSynthetic(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := rng.NewStream(1, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(0, s)
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic real-life trace construction.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := tpsim.GenerateRealLifeTrace(int64(i + 1))
+		if len(tr.Txs) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}

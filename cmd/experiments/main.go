@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig4.1 [-quick] [-seed 1]
+//	experiments -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run (e.g. fig4.1)")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "shorter windows and sparser sweeps")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := runOne(e, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		e, err := experiments.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := runOne(e, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, opts experiments.Options) error {
+	start := time.Now()
+	out, err := e.Run(opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.Name, err)
+	}
+	fmt.Printf("=== %s: %s ===\n%s(took %.1fs)\n\n", e.Name, e.Title, out, time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	tpsim "repro"
+	"repro/internal/trace"
+)
+
+// fileConfig is the JSON schema cmd/tpsim accepts. It maps 1:1 onto the
+// engine configuration plus a workload selector.
+type fileConfig struct {
+	Seed      int64   `json:"seed"`
+	MPL       int     `json:"mpl"`
+	NumCPU    int     `json:"numCPU"`
+	MIPS      float64 `json:"mips"`
+	InstrBOT  float64 `json:"instrBOT"`
+	InstrOR   float64 `json:"instrOR"`
+	InstrEOT  float64 `json:"instrEOT"`
+	InstrIO   float64 `json:"instrIO"`
+	InstrNVEM float64 `json:"instrNVEM"`
+
+	WarmupMS  float64 `json:"warmupMS"`
+	MeasureMS float64 `json:"measureMS"`
+
+	Workload workloadConfig `json:"workload"`
+
+	// CCModes: "none", "page" or "object" per partition. Empty defaults to
+	// page-level locking everywhere.
+	CCModes []string `json:"ccModes"`
+
+	NVEMServers int     `json:"nvemServers"`
+	NVEMDelayMS float64 `json:"nvemDelayMS"`
+
+	DiskUnits []diskUnitConfig `json:"diskUnits"`
+	Buffer    bufferConfig     `json:"buffer"`
+}
+
+type workloadConfig struct {
+	Kind string  `json:"kind"` // "debitcredit", "trace" or "synthetic"
+	Rate float64 `json:"rate"`
+
+	// Debit-Credit overrides (zero = Table 4.1 defaults).
+	Branches  int64 `json:"branches"`
+	Accounts  int64 `json:"accounts"`
+	Uncluster bool  `json:"uncluster"`
+
+	// Trace replay. PerTypeRates switches to one arrival stream per
+	// transaction type instead of a single ordered replay at Rate.
+	TraceFile    string    `json:"traceFile"`
+	PerTypeRates []float64 `json:"perTypeRates"`
+
+	// General synthetic model.
+	Synthetic *tpsim.Model `json:"synthetic"`
+}
+
+type diskUnitConfig struct {
+	Name            string  `json:"name"`
+	Type            string  `json:"type"` // regular, volatile-cache, nv-cache, ssd
+	NumControllers  int     `json:"numControllers"`
+	ContrDelayMS    float64 `json:"contrDelayMS"`
+	TransDelayMS    float64 `json:"transDelayMS"`
+	NumDisks        int     `json:"numDisks"`
+	DiskDelayMS     float64 `json:"diskDelayMS"`
+	CacheSize       int     `json:"cacheSize"`
+	WriteBufferOnly bool    `json:"writeBufferOnly"`
+}
+
+type bufferConfig struct {
+	BufferSize          int               `json:"bufferSize"`
+	Force               bool              `json:"force"`
+	Logging             *bool             `json:"logging"` // default true
+	NVEMCacheSize       int               `json:"nvemCacheSize"`
+	NVEMWriteBufferSize int               `json:"nvemWriteBufferSize"`
+	Partitions          []partitionConfig `json:"partitions"`
+	Log                 logConfig         `json:"log"`
+}
+
+type partitionConfig struct {
+	MMResident      bool   `json:"mmResident"`
+	NVEMResident    bool   `json:"nvemResident"`
+	DiskUnit        int    `json:"diskUnit"`
+	SyncAccess      bool   `json:"syncAccess"`
+	NVEMCache       bool   `json:"nvemCache"`
+	NVEMCacheMode   string `json:"nvemCacheMode"` // all, modified, unmodified
+	NVEMWriteBuffer bool   `json:"nvemWriteBuffer"`
+}
+
+type logConfig struct {
+	NVEMResident    bool `json:"nvemResident"`
+	DiskUnit        int  `json:"diskUnit"`
+	NVEMWriteBuffer bool `json:"nvemWriteBuffer"`
+}
+
+// load reads and assembles a full engine configuration.
+func load(r io.Reader) (tpsim.Config, error) {
+	var fc fileConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return tpsim.Config{}, fmt.Errorf("parse config: %w", err)
+	}
+	return fc.assemble()
+}
+
+func (fc *fileConfig) assemble() (tpsim.Config, error) {
+	cfg := tpsim.Defaults()
+	if fc.Seed != 0 {
+		cfg.Seed = fc.Seed
+	}
+	setIfPos(&cfg.MPL, fc.MPL)
+	setIfPos(&cfg.NumCPU, fc.NumCPU)
+	setIfPosF(&cfg.MIPS, fc.MIPS)
+	setIfPosF(&cfg.InstrBOT, fc.InstrBOT)
+	setIfPosF(&cfg.InstrOR, fc.InstrOR)
+	setIfPosF(&cfg.InstrEOT, fc.InstrEOT)
+	setIfPosF(&cfg.InstrIO, fc.InstrIO)
+	setIfPosF(&cfg.InstrNVEM, fc.InstrNVEM)
+	setIfPosF(&cfg.WarmupMS, fc.WarmupMS)
+	setIfPosF(&cfg.MeasureMS, fc.MeasureMS)
+	setIfPos(&cfg.NVEMServers, fc.NVEMServers)
+	setIfPosF(&cfg.NVEMDelay, fc.NVEMDelayMS)
+
+	if err := fc.workload(&cfg); err != nil {
+		return cfg, err
+	}
+
+	cfg.CCModes = make([]tpsim.Granularity, len(cfg.Partitions))
+	for i := range cfg.CCModes {
+		mode := "page"
+		if i < len(fc.CCModes) {
+			mode = fc.CCModes[i]
+		}
+		switch mode {
+		case "none":
+			cfg.CCModes[i] = tpsim.NoCC
+		case "page":
+			cfg.CCModes[i] = tpsim.PageLevel
+		case "object":
+			cfg.CCModes[i] = tpsim.ObjectLevel
+		default:
+			return cfg, fmt.Errorf("unknown cc mode %q", mode)
+		}
+	}
+
+	for _, u := range fc.DiskUnits {
+		du := tpsim.DiskUnitConfig{
+			Name:            u.Name,
+			NumControllers:  u.NumControllers,
+			ContrDelay:      u.ContrDelayMS,
+			TransDelay:      u.TransDelayMS,
+			NumDisks:        u.NumDisks,
+			DiskDelay:       u.DiskDelayMS,
+			CacheSize:       u.CacheSize,
+			WriteBufferOnly: u.WriteBufferOnly,
+		}
+		switch u.Type {
+		case "regular", "":
+			du.Type = tpsim.Regular
+		case "volatile-cache":
+			du.Type = tpsim.VolatileCache
+		case "nv-cache":
+			du.Type = tpsim.NVCache
+		case "ssd":
+			du.Type = tpsim.SSD
+		default:
+			return cfg, fmt.Errorf("unknown disk unit type %q", u.Type)
+		}
+		cfg.DiskUnits = append(cfg.DiskUnits, du)
+	}
+
+	logging := true
+	if fc.Buffer.Logging != nil {
+		logging = *fc.Buffer.Logging
+	}
+	cfg.Buffer = tpsim.BufferConfig{
+		BufferSize:          fc.Buffer.BufferSize,
+		Force:               fc.Buffer.Force,
+		Logging:             logging,
+		NVEMCacheSize:       fc.Buffer.NVEMCacheSize,
+		NVEMWriteBufferSize: fc.Buffer.NVEMWriteBufferSize,
+		Log: tpsim.LogAlloc{
+			NVEMResident:    fc.Buffer.Log.NVEMResident,
+			DiskUnit:        fc.Buffer.Log.DiskUnit,
+			NVEMWriteBuffer: fc.Buffer.Log.NVEMWriteBuffer,
+		},
+	}
+	if len(fc.Buffer.Partitions) != len(cfg.Partitions) {
+		return cfg, fmt.Errorf("buffer.partitions has %d entries for %d workload partitions",
+			len(fc.Buffer.Partitions), len(cfg.Partitions))
+	}
+	for _, p := range fc.Buffer.Partitions {
+		alloc := tpsim.PartitionAlloc{
+			MMResident:      p.MMResident,
+			NVEMResident:    p.NVEMResident,
+			DiskUnit:        p.DiskUnit,
+			SyncAccess:      p.SyncAccess,
+			NVEMCache:       p.NVEMCache,
+			NVEMWriteBuffer: p.NVEMWriteBuffer,
+		}
+		switch p.NVEMCacheMode {
+		case "", "all":
+			alloc.NVEMCacheMode = tpsim.MigrateAll
+		case "modified":
+			alloc.NVEMCacheMode = tpsim.MigrateModified
+		case "unmodified":
+			alloc.NVEMCacheMode = tpsim.MigrateUnmodified
+		default:
+			return cfg, fmt.Errorf("unknown nvemCacheMode %q", p.NVEMCacheMode)
+		}
+		cfg.Buffer.Partitions = append(cfg.Buffer.Partitions, alloc)
+	}
+	return cfg, nil
+}
+
+func (fc *fileConfig) workload(cfg *tpsim.Config) error {
+	w := fc.Workload
+	switch w.Kind {
+	case "debitcredit", "":
+		dcc := tpsim.DefaultDebitCreditConfig(w.Rate)
+		if w.Branches > 0 {
+			dcc.NumBranches = w.Branches
+		}
+		if w.Accounts > 0 {
+			dcc.NumAccounts = w.Accounts
+		}
+		if w.Uncluster {
+			dcc.ClusterBranchTeller = false
+		}
+		gen, err := tpsim.NewDebitCredit(dcc)
+		if err != nil {
+			return err
+		}
+		cfg.Partitions = gen.Partitions()
+		cfg.Generator = gen
+	case "trace":
+		f, err := os.Open(w.TraceFile)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		var src *tpsim.TraceSource
+		if len(w.PerTypeRates) > 0 {
+			src, err = tpsim.NewTraceSourceByType(tr, w.PerTypeRates)
+		} else {
+			src, err = tpsim.NewTraceSource(tr, w.Rate)
+		}
+		if err != nil {
+			return err
+		}
+		cfg.Partitions = src.Partitions()
+		cfg.Generator = src
+	case "synthetic":
+		if w.Synthetic == nil {
+			return fmt.Errorf("workload.kind synthetic requires workload.synthetic")
+		}
+		for i := range w.Synthetic.TxTypes {
+			if w.Synthetic.TxTypes[i].ArrivalRate == 0 {
+				w.Synthetic.TxTypes[i].ArrivalRate = w.Rate
+			}
+		}
+		gen, err := tpsim.NewSynthetic(w.Synthetic)
+		if err != nil {
+			return err
+		}
+		cfg.Partitions = w.Synthetic.Partitions
+		cfg.Generator = gen
+	default:
+		return fmt.Errorf("unknown workload kind %q", w.Kind)
+	}
+	return nil
+}
+
+func setIfPos(dst *int, v int) {
+	if v > 0 {
+		*dst = v
+	}
+}
+
+func setIfPosF(dst *float64, v float64) {
+	if v > 0 {
+		*dst = v
+	}
+}

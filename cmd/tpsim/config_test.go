@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	tpsim "repro"
+)
+
+func TestExampleConfigLoadsAndRuns(t *testing.T) {
+	cfg, err := load(strings.NewReader(exampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmupMS = 500
+	cfg.MeasureMS = 1500
+	res, err := tpsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := load(strings.NewReader(`{"bogus": 1}`))
+	if err == nil {
+		t.Fatal("unknown field must error")
+	}
+}
+
+func TestLoadRejectsBadValues(t *testing.T) {
+	cases := map[string]string{
+		"bad cc":        `{"workload":{"kind":"debitcredit","rate":10},"ccModes":["zebra"],"diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":1,"diskDelayMS":15}],"buffer":{"bufferSize":100,"partitions":[{},{},{}],"log":{}}}`,
+		"bad unit type": `{"workload":{"kind":"debitcredit","rate":10},"diskUnits":[{"name":"d","type":"floppy","numControllers":1,"contrDelayMS":1,"numDisks":1,"diskDelayMS":15}],"buffer":{"bufferSize":100,"partitions":[{},{},{}],"log":{}}}`,
+		"bad wl kind":   `{"workload":{"kind":"quantum","rate":10}}`,
+		"bad mode":      `{"workload":{"kind":"debitcredit","rate":10},"diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":1,"diskDelayMS":15}],"buffer":{"bufferSize":100,"partitions":[{"nvemCacheMode":"sideways"},{},{}],"log":{}}}`,
+		"mismatch":      `{"workload":{"kind":"debitcredit","rate":10},"diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":1,"diskDelayMS":15}],"buffer":{"bufferSize":100,"partitions":[{}],"log":{}}}`,
+	}
+	for name, in := range cases {
+		if _, err := load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSyntheticWorkloadFromJSON(t *testing.T) {
+	in := `{
+	  "workload": {"kind": "synthetic", "rate": 50, "synthetic": {
+	    "Partitions": [{"Name": "p", "NumObjects": 1000, "BlockFactor": 10}],
+	    "TxTypes": [{"Name": "t", "TxSize": 5, "WriteProb": 0.5, "RefRow": [1]}]
+	  }},
+	  "ccModes": ["object"],
+	  "diskUnits": [{"name": "d", "numControllers": 2, "contrDelayMS": 1, "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 15}],
+	  "buffer": {"bufferSize": 200, "partitions": [{"diskUnit": 0}], "log": {"diskUnit": 0}}
+	}`
+	cfg, err := load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CCModes[0] != tpsim.ObjectLevel {
+		t.Fatal("cc mode not applied")
+	}
+	// Rate filled in from workload.rate.
+	_, rate := cfg.Generator.TypeInfo(0)
+	if rate != 50 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestTraceWorkloadFromJSON(t *testing.T) {
+	// Missing trace file must error cleanly.
+	in := `{"workload": {"kind": "trace", "rate": 10, "traceFile": "/nonexistent.trace"}}`
+	if _, err := load(strings.NewReader(in)); err == nil {
+		t.Fatal("missing trace file must error")
+	}
+}

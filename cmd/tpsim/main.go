@@ -1,0 +1,74 @@
+// Command tpsim runs one simulation described by a JSON configuration file
+// and prints the full result report.
+//
+// Usage:
+//
+//	tpsim -config run.json
+//	tpsim -example            # print a commented example configuration
+//
+// The JSON schema mirrors the engine configuration: CM parameters (Table
+// 3.3 of the paper), disk units (Table 3.4), buffer-manager allocation
+// (Fig 3.2) and a workload selector (debitcredit / trace / synthetic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tpsim "repro"
+)
+
+const exampleConfig = `{
+  "seed": 1,
+  "warmupMS": 8000,
+  "measureMS": 20000,
+  "workload": {"kind": "debitcredit", "rate": 200},
+  "ccModes": ["page", "page", "none"],
+  "diskUnits": [
+    {"name": "db", "type": "regular", "numControllers": 8,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 64, "diskDelayMS": 15},
+    {"name": "log", "type": "nv-cache", "numControllers": 2,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 4, "diskDelayMS": 5,
+     "cacheSize": 500, "writeBufferOnly": true}
+  ],
+  "buffer": {
+    "bufferSize": 2000,
+    "partitions": [{"diskUnit": 0}, {"diskUnit": 0}, {"diskUnit": 0}],
+    "log": {"diskUnit": 1}
+  }
+}`
+
+func main() {
+	path := flag.String("config", "", "JSON configuration file")
+	example := flag.Bool("example", false, "print an example configuration and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleConfig)
+		return
+	}
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tpsim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Report())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpsim:", err)
+	os.Exit(1)
+}

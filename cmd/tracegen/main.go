@@ -1,0 +1,81 @@
+// Command tracegen generates the synthetic real-life trace (section 4.6
+// stand-in) or reports the aggregate statistics of an existing trace file.
+//
+// Usage:
+//
+//	tracegen -out reallife.trace [-seed 42]
+//	tracegen -stats reallife.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "", "write the synthetic real-life trace to this file")
+	statsPath := flag.String("stats", "", "print aggregate statistics of an existing trace file")
+	seed := flag.Int64("seed", 42, "generator seed")
+	top := flag.Int("top", 0, "also list the N hottest pages")
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		tr := trace.GenerateRealLife(*seed)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		report(tr, *top)
+		fmt.Println("written to", *out)
+	case *statsPath != "":
+		f, err := os.Open(*statsPath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report(tr, *top)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func report(tr *trace.Trace, top int) {
+	s := tr.ComputeStats()
+	fmt.Printf("transactions:   %d (%d types)\n", s.NumTxs, s.NumTypes)
+	fmt.Printf("accesses:       %d (%.2f%% writes)\n", s.NumAccesses, 100*s.WriteFrac())
+	fmt.Printf("update txs:     %d (%.1f%%)\n", s.UpdateTxs, 100*s.UpdateTxFrac())
+	fmt.Printf("distinct pages: %d of %d (%d files, %.1f GB at 4KB pages)\n",
+		s.DistinctPages, s.TotalPages, tr.NumFiles(), float64(s.TotalPages)*4/1024/1024)
+	fmt.Printf("largest tx:     %d accesses\n", s.MaxTxSize)
+	if counts := tr.TypeHistogram(); len(tr.TypeNames) == len(counts) {
+		for i, c := range counts {
+			fmt.Printf("  type %-14s %6d txs\n", tr.TypeNames[i], c)
+		}
+	}
+	if top > 0 {
+		fmt.Printf("hottest %d pages:\n", top)
+		for _, r := range tr.HottestPages(top) {
+			fmt.Printf("  file %d page %d\n", r.File, r.Page)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Debit-Credit allocation study: sweeps the arrival rate for several
+// database/log allocation schemes (a compact version of the paper's Figs
+// 4.1-4.3), including the FORCE update strategy with a write buffer —
+// demonstrating that FORCE becomes affordable once commit writes go to
+// non-volatile semiconductor memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	tpsim "repro"
+)
+
+func main() {
+	force := flag.Bool("force", false, "use the FORCE update strategy")
+	buffer := flag.Int("buffer", 2000, "main memory buffer size (pages)")
+	flag.Parse()
+
+	rates := []float64{50, 150, 300, 500}
+	fmt.Printf("Debit-Credit, %s, MM buffer %d pages\n\n",
+		strategy(*force), *buffer)
+	fmt.Printf("%-22s", "mean response [ms]")
+	for _, r := range rates {
+		fmt.Printf("%9.0f", r)
+	}
+	fmt.Println(" TPS")
+
+	for _, scheme := range []string{"disk", "disk+write-buffer", "ssd", "nvem"} {
+		fmt.Printf("%-22s", scheme)
+		for _, rate := range rates {
+			cfg, err := build(scheme, rate, *force, *buffer)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := tpsim.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := ""
+			if res.Saturated {
+				mark = "*"
+			}
+			fmt.Printf("%8.2f%1s", res.RespMean, mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(* = offered load exceeded the configuration's capacity)")
+}
+
+func strategy(force bool) string {
+	if force {
+		return "FORCE"
+	}
+	return "NOFORCE"
+}
+
+// build assembles one allocation scheme. All schemes share the Table 4.1 CM
+// parameters and the Debit-Credit workload.
+func build(scheme string, rate float64, force bool, bufferSize int) (tpsim.Config, error) {
+	gen, err := tpsim.NewDebitCredit(tpsim.DefaultDebitCreditConfig(rate))
+	if err != nil {
+		return tpsim.Config{}, err
+	}
+	cfg := tpsim.Defaults()
+	cfg.Partitions = gen.Partitions()
+	cfg.Generator = gen
+	cfg.CCModes = []tpsim.Granularity{tpsim.PageLevel, tpsim.PageLevel, tpsim.NoCC}
+	cfg.WarmupMS = 8_000
+	cfg.MeasureMS = 15_000
+
+	db := tpsim.DiskUnitConfig{
+		Name: "db", Type: tpsim.Regular, NumControllers: 12,
+		ContrDelay: tpsim.DefaultContrDelay, TransDelay: tpsim.DefaultTransDelay,
+		NumDisks: 96, DiskDelay: tpsim.DefaultDBDiskDelay,
+	}
+	logU := tpsim.DiskUnitConfig{
+		Name: "log", Type: tpsim.Regular, NumControllers: 2,
+		ContrDelay: tpsim.DefaultContrDelay, TransDelay: tpsim.DefaultTransDelay,
+		NumDisks: 8, DiskDelay: tpsim.DefaultLogDiskDelay,
+	}
+	part := tpsim.PartitionAlloc{DiskUnit: 0}
+	logAlloc := tpsim.LogAlloc{DiskUnit: 1}
+
+	switch scheme {
+	case "disk":
+	case "disk+write-buffer":
+		// Non-volatile controller caches absorb all page and log writes.
+		db.Type = tpsim.NVCache
+		db.CacheSize = 500
+		db.WriteBufferOnly = true
+		logU.Type = tpsim.NVCache
+		logU.CacheSize = 500
+		logU.WriteBufferOnly = true
+	case "ssd":
+		db.Type = tpsim.SSD
+		db.NumDisks = 0
+		db.DiskDelay = 0
+		logU.Type = tpsim.SSD
+		logU.NumDisks = 0
+		logU.DiskDelay = 0
+	case "nvem":
+		part = tpsim.PartitionAlloc{NVEMResident: true}
+		logAlloc = tpsim.LogAlloc{NVEMResident: true}
+	default:
+		return tpsim.Config{}, fmt.Errorf("unknown scheme %q", scheme)
+	}
+
+	cfg.DiskUnits = []tpsim.DiskUnitConfig{db, logU}
+	cfg.Buffer = tpsim.BufferConfig{
+		BufferSize: bufferSize,
+		Force:      force,
+		Logging:    true,
+		Partitions: []tpsim.PartitionAlloc{part, part, part},
+		Log:        logAlloc,
+	}
+	return cfg, nil
+}

@@ -1,0 +1,517 @@
+// Package buffer implements TPSIM's buffer manager (BM, section 3.2): the
+// global-LRU main-memory database buffer, the NVEM second-level database
+// cache with its migration modes and NOFORCE single-copy management, the
+// NVEM write buffer, logging, and the FORCE/NOFORCE update strategies.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/lru"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Host is the buffer manager's view of the computing module. The engine
+// implements it: CPU overhead per I/O (InstrIO), the CPU-synchronous NVEM
+// page transfer (InstrNVEM + NVEM delay with the CPU held), and spawning of
+// asynchronous writer processes.
+type Host interface {
+	// IOOverhead charges the CPU overhead of one I/O to process p.
+	IOOverhead(p *sim.Process)
+	// SyncDeviceIO charges the I/O overhead and runs the device access fn
+	// with the CPU held (AccessMode=synchronous, Table 3.3).
+	SyncDeviceIO(p *sim.Process, fn func())
+	// NVEMTransfer performs one page transfer between main memory and NVEM
+	// with the CPU held (synchronous access, section 2).
+	NVEMTransfer(p *sim.Process)
+	// SpawnAsync starts a background process (asynchronous disk updates).
+	SpawnAsync(name string, fn func(p *sim.Process))
+}
+
+// Stats are the buffer manager's counters.
+type Stats struct {
+	Fixes         int64 // page requests
+	MMHits        int64 // satisfied in the main-memory buffer
+	ResidentFixes int64 // fixes to MM-resident partitions (always hits)
+	NVEMCacheHits int64 // MM misses satisfied in the NVEM cache
+	NVEMReads     int64 // MM misses to NVEM-resident partitions
+	DeviceReads   int64 // MM misses served by a disk-unit
+
+	VictimWrites    int64 // dirty victims written synchronously to a device
+	VictimAsync     int64 // dirty victims written by asynchronous replacement
+	VictimToWB      int64 // dirty victims absorbed by the NVEM write buffer
+	VictimToNVEM    int64 // victims migrated into the NVEM cache
+	CleanDrops      int64 // clean victims dropped without migration
+	WBFullSync      int64 // write-buffer-full fallbacks to synchronous writes
+	AsyncDiskWrites int64 // asynchronous disk updates started
+	NVEMEvictWrites int64 // deferred destages triggered by NVEM eviction
+
+	ForceWrites  int64 // pages forced at commit (FORCE)
+	LogWrites    int64 // physical log page writes
+	GroupCommits int64 // log groups flushed (group commit)
+}
+
+// PartitionStats is the per-partition hit breakdown.
+type PartitionStats struct {
+	Fixes    int64
+	MMHits   int64
+	NVEMHits int64
+}
+
+// frame is a main-memory buffer frame.
+type frame struct {
+	dirty bool
+}
+
+// nvemFrame is an NVEM-cache frame; dirty is only possible under deferred
+// destage (otherwise the disk write started when the page entered NVEM).
+type nvemFrame struct {
+	dirty bool
+}
+
+// Manager is the buffer manager.
+type Manager struct {
+	cfg   Config
+	host  Host
+	units []*storage.DiskUnit
+	nvem  *storage.NVEM
+
+	mm        *lru.Cache[storage.PageKey, frame]
+	nvemCache *lru.Cache[storage.PageKey, nvemFrame]
+	wbInUse   int
+
+	logPartition int
+	logNext      int64
+	gcWaiters    []*sim.Process
+
+	stats     Stats
+	partStats []PartitionStats
+}
+
+// New builds a buffer manager. units must cover every DiskUnit index in the
+// configuration; nvem may be nil when cfg.UsesNVEM() is false.
+func New(cfg Config, partitionNames []string, units []*storage.DiskUnit, nvem *storage.NVEM, host Host) (*Manager, error) {
+	if err := cfg.Validate(partitionNames, len(units)); err != nil {
+		return nil, err
+	}
+	if cfg.UsesNVEM() && nvem == nil {
+		return nil, fmt.Errorf("buffer: configuration uses NVEM but no NVEM store given")
+	}
+	m := &Manager{
+		cfg:          cfg,
+		host:         host,
+		units:        units,
+		nvem:         nvem,
+		mm:           lru.New[storage.PageKey, frame](cfg.BufferSize),
+		logPartition: len(cfg.Partitions),
+		partStats:    make([]PartitionStats, len(cfg.Partitions)),
+	}
+	if cfg.NVEMCacheSize > 0 {
+		m.nvemCache = lru.New[storage.PageKey, nvemFrame](cfg.NVEMCacheSize)
+	}
+	return m, nil
+}
+
+// Stats returns a copy of the global counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// PartitionStats returns a copy of the per-partition counters.
+func (m *Manager) PartitionStats() []PartitionStats {
+	out := make([]PartitionStats, len(m.partStats))
+	copy(out, m.partStats)
+	return out
+}
+
+// MMLen returns the number of occupied main-memory frames.
+func (m *Manager) MMLen() int { return m.mm.Len() }
+
+// NVEMCacheLen returns the number of occupied NVEM cache frames.
+func (m *Manager) NVEMCacheLen() int {
+	if m.nvemCache == nil {
+		return 0
+	}
+	return m.nvemCache.Len()
+}
+
+// WriteBufferInUse returns the pages currently buffered in the NVEM write
+// buffer awaiting their disk update.
+func (m *Manager) WriteBufferInUse() int { return m.wbInUse }
+
+// alloc returns the partition's allocation.
+func (m *Manager) alloc(partition int) *PartitionAlloc { return &m.cfg.Partitions[partition] }
+
+// unitOf returns the disk-unit backing the partition.
+func (m *Manager) unitOf(partition int) *storage.DiskUnit {
+	return m.units[m.alloc(partition).DiskUnit]
+}
+
+// Fix brings the page into the main-memory buffer on behalf of process p
+// and marks it dirty if write is set. It blocks p for whatever the storage
+// hierarchy charges: nothing on an MM hit, an NVEM transfer on an NVEM hit,
+// or a device read (plus a possible synchronous victim write-back) on a full
+// miss. TPSIM replaces synchronously — asynchronous replacement is exactly
+// the optimization the paper shows NV memory makes unnecessary (footnote 3).
+func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool) {
+	m.stats.Fixes++
+	ps := &m.partStats[key.Partition]
+	ps.Fixes++
+	a := m.alloc(key.Partition)
+
+	if a.MMResident {
+		// Memory-resident partitions: 100% hit ratio, NOFORCE propagation.
+		m.stats.MMHits++
+		m.stats.ResidentFixes++
+		ps.MMHits++
+		return
+	}
+
+	if f, ok := m.mm.Get(key); ok {
+		m.stats.MMHits++
+		ps.MMHits++
+		if write && !f.dirty {
+			m.mm.Update(key, frame{dirty: true})
+		}
+		return
+	}
+
+	// Main-memory miss. Probe the NVEM cache before replacing: under
+	// NOFORCE the requested page leaves the NVEM cache as it migrates up,
+	// which keeps MM+NVEM an exact aggregate LRU — the victim migrating
+	// down must never evict the page being promoted.
+	nvemHit := a.NVEMCache && m.nvemCache != nil && m.nvemCacheHas(key)
+	nvemDirty := false
+	if nvemHit && !m.cfg.Force {
+		// NOFORCE: a page lives in at most one of MM and NVEM. Under
+		// deferred destage a dirty NVEM copy promotes to a dirty MM frame
+		// so the pending modification is not lost.
+		f, _ := m.nvemCache.Remove(key)
+		nvemDirty = f.dirty
+	}
+
+	// Victim selection and registration of the new page happen atomically
+	// (no simulated time in between): a concurrent fixer can neither steal
+	// the freed slot (which would make the later Put silently drop a dirty
+	// LRU page) nor start a duplicate fetch of the same page (fetch
+	// coalescing — this yields the paper's 95% HISTORY hit ratio, one miss
+	// per blocking factor). The victim's write-back and the page transfer
+	// are paid afterwards.
+	victim, victimDirty, haveVictim := m.reserveFrame()
+	m.mm.Put(key, frame{dirty: write || nvemDirty})
+	if haveVictim {
+		m.disposeVictim(p, victim, victimDirty)
+	}
+
+	switch {
+	case a.NVEMResident:
+		m.stats.NVEMReads++
+		m.host.NVEMTransfer(p)
+	case nvemHit:
+		m.stats.NVEMCacheHits++
+		ps.NVEMHits++
+		m.host.NVEMTransfer(p)
+		if m.cfg.Force {
+			// FORCE: replication is unavoidable (section 3.2); keep the
+			// NVEM copy, refresh its recency.
+			m.nvemCache.Touch(key)
+		}
+	default:
+		m.stats.DeviceReads++
+		m.deviceRead(p, key)
+	}
+}
+
+// deviceRead reads a page from its partition's disk-unit, honouring the
+// partition's access mode (synchronous access keeps the CPU busy).
+func (m *Manager) deviceRead(p *sim.Process, key storage.PageKey) {
+	unit := m.unitOf(key.Partition)
+	if m.alloc(key.Partition).SyncAccess {
+		m.host.SyncDeviceIO(p, func() { unit.Read(p, key) })
+		return
+	}
+	m.host.IOOverhead(p)
+	unit.Read(p, key)
+}
+
+// devicePartitionWrite writes a page to its partition's disk-unit,
+// honouring the partition's access mode.
+func (m *Manager) devicePartitionWrite(p *sim.Process, key storage.PageKey) {
+	unit := m.unitOf(key.Partition)
+	if m.alloc(key.Partition).SyncAccess {
+		m.host.SyncDeviceIO(p, func() { unit.Write(p, key) })
+		return
+	}
+	m.host.IOOverhead(p)
+	unit.Write(p, key)
+}
+
+// nvemCacheHas probes the NVEM cache without touching recency (recency is
+// handled by the caller depending on the update strategy).
+func (m *Manager) nvemCacheHas(key storage.PageKey) bool {
+	_, ok := m.nvemCache.Peek(key)
+	return ok
+}
+
+// reserveFrame removes a victim frame when the buffer is full, returning
+// its identity for later disposal. Under FORCE the oldest clean frame is
+// preferred (there almost always is one — footnote 7); under NOFORCE strict
+// LRU is used.
+func (m *Manager) reserveFrame() (victim storage.PageKey, dirty, haveVictim bool) {
+	if m.mm.Len() < m.mm.Cap() {
+		return storage.PageKey{}, false, false
+	}
+	var ok bool
+	if m.cfg.Force {
+		victim, ok = m.mm.FindOldest(func(_ storage.PageKey, f frame) bool { return !f.dirty })
+	}
+	if !ok {
+		victim, ok = m.mm.Oldest()
+	}
+	if !ok {
+		return storage.PageKey{}, false, false // capacity > 0; defensive
+	}
+	f, _ := m.mm.Peek(victim)
+	m.mm.Remove(victim)
+	return victim, f.dirty, true
+}
+
+// disposeVictim routes a replaced page according to its partition's
+// allocation: into the NVEM cache (with asynchronous disk update for dirty
+// pages), through the NVEM write buffer, or synchronously to the device.
+func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool) {
+	a := m.alloc(key.Partition)
+
+	if a.NVEMCache && m.nvemCache != nil {
+		migrate := a.NVEMCacheMode == MigrateAll ||
+			(dirty && a.NVEMCacheMode == MigrateModified) ||
+			(!dirty && a.NVEMCacheMode == MigrateUnmodified)
+		if migrate {
+			m.migrateToNVEM(p, key, dirty)
+			return
+		}
+	}
+
+	if !dirty {
+		if a.NVEMResident {
+			// Nothing to do: the permanent copy is in NVEM already.
+			return
+		}
+		m.stats.CleanDrops++
+		return
+	}
+
+	switch {
+	case a.NVEMResident:
+		// Write the page back to its NVEM home (synchronous, fast).
+		m.host.NVEMTransfer(p)
+	case a.NVEMWriteBuffer:
+		m.writeViaWB(p, key)
+	case m.cfg.AsyncReplacement:
+		// Footnote 3's software optimization: the replacement write happens
+		// in the background; only the read delays the transaction.
+		m.stats.VictimAsync++
+		unit := m.unitOf(key.Partition)
+		m.host.SpawnAsync("async-replace", func(ap *sim.Process) {
+			m.stats.AsyncDiskWrites++
+			m.host.IOOverhead(ap)
+			unit.Write(ap, key)
+		})
+	default:
+		// Device write before the read can proceed (the transaction waits
+		// for it either way; SyncAccess additionally holds the CPU).
+		m.stats.VictimWrites++
+		m.devicePartitionWrite(p, key)
+	}
+}
+
+// migrateToNVEM inserts a page replaced from main memory into the NVEM
+// second-level cache. With immediate propagation (the paper's simple
+// scheme, section 3.2) the disk write of a modified page starts right away
+// and asynchronously, so NVEM frames are always replaceable without delay —
+// eviction is a drop. Under deferred destage the page stays dirty in NVEM
+// and the disk write happens only when NVEM evicts it (paying an extra
+// NVEM→MM transfer then), saving disk writes for re-modified pages.
+func (m *Manager) migrateToNVEM(p *sim.Process, key storage.PageKey, dirty bool) {
+	m.stats.VictimToNVEM++
+	m.host.NVEMTransfer(p)
+	m.putNVEM(key, dirty)
+	if dirty && !m.cfg.NVEMDeferredDestage {
+		m.startAsyncWrite(key)
+	}
+}
+
+// putNVEM inserts into the NVEM cache, destaging an evicted deferred-dirty
+// page in the background.
+func (m *Manager) putNVEM(key storage.PageKey, dirty bool) {
+	if !m.cfg.NVEMDeferredDestage {
+		dirty = false // disk copy is (being made) current
+	}
+	evictedKey, evictedFrame, evicted := m.nvemCache.Put(key, nvemFrame{dirty: dirty})
+	if !evicted || !evictedFrame.dirty {
+		return
+	}
+	m.stats.NVEMEvictWrites++
+	unit := m.deviceUnitFor(evictedKey)
+	m.host.SpawnAsync("nvem-evict-destage", func(ap *sim.Process) {
+		// The page must pass through main memory on its way to disk
+		// (section 2: NVEM↔disk transfers go through the accessing system).
+		m.host.NVEMTransfer(ap)
+		m.stats.AsyncDiskWrites++
+		m.host.IOOverhead(ap)
+		unit.Write(ap, evictedKey)
+	})
+}
+
+// writeViaWB absorbs a page write in the NVEM write buffer: the caller
+// continues after the NVEM transfer while the disk copy is updated
+// asynchronously. When every write-buffer frame is still awaiting its disk
+// update, the write falls back to a synchronous device write (the same
+// saturation behaviour as a full non-volatile disk cache).
+func (m *Manager) writeViaWB(p *sim.Process, key storage.PageKey) {
+	if m.wbInUse >= m.cfg.NVEMWriteBufferSize {
+		m.stats.WBFullSync++
+		m.stats.VictimWrites++
+		m.host.IOOverhead(p)
+		m.deviceWriteFor(p, key)
+		return
+	}
+	m.wbInUse++
+	m.stats.VictimToWB++
+	m.host.NVEMTransfer(p)
+	unit := m.deviceUnitFor(key)
+	m.host.SpawnAsync("wb-destage", func(ap *sim.Process) {
+		m.stats.AsyncDiskWrites++
+		m.host.IOOverhead(ap)
+		unit.Write(ap, key)
+		m.wbInUse--
+	})
+}
+
+// deviceUnitFor resolves the disk-unit for a page, treating the log
+// partition specially.
+func (m *Manager) deviceUnitFor(key storage.PageKey) *storage.DiskUnit {
+	if key.Partition == m.logPartition {
+		return m.units[m.cfg.Log.DiskUnit]
+	}
+	return m.unitOf(key.Partition)
+}
+
+func (m *Manager) deviceWriteFor(p *sim.Process, key storage.PageKey) {
+	m.deviceUnitFor(key).Write(p, key)
+}
+
+// startAsyncWrite begins the immediate asynchronous disk update for a
+// modified page that entered the NVEM cache.
+func (m *Manager) startAsyncWrite(key storage.PageKey) {
+	unit := m.deviceUnitFor(key)
+	m.host.SpawnAsync("nvem-destage", func(ap *sim.Process) {
+		m.stats.AsyncDiskWrites++
+		m.host.IOOverhead(ap)
+		unit.Write(ap, key)
+	})
+}
+
+// ForcePages implements commit phase 1 under FORCE: every page the
+// transaction modified is written to non-volatile storage, and its
+// main-memory copy becomes clean but stays buffered (replication with the
+// NVEM cache is accepted, section 3.2). Pages already replaced from the
+// buffer were written out at replacement and are skipped.
+func (m *Manager) ForcePages(p *sim.Process, keys []storage.PageKey) {
+	if !m.cfg.Force {
+		return
+	}
+	for _, key := range keys {
+		a := m.alloc(key.Partition)
+		if a.MMResident {
+			continue // memory-resident partitions use NOFORCE propagation
+		}
+		f, inMM := m.mm.Peek(key)
+		if inMM && !f.dirty {
+			continue // already forced by an earlier access of this txn
+		}
+		if !inMM {
+			continue // replaced earlier; written out during replacement
+		}
+		m.stats.ForceWrites++
+		switch {
+		case a.NVEMResident:
+			m.host.NVEMTransfer(p)
+		case a.NVEMCache && m.nvemCache != nil:
+			// Force into the NVEM cache; MM copy stays (replication).
+			// Deferred destage pays off exactly here: re-forced pages
+			// overwrite their dirty NVEM copy without another disk write.
+			m.host.NVEMTransfer(p)
+			m.putNVEM(key, true)
+			if !m.cfg.NVEMDeferredDestage {
+				m.startAsyncWrite(key)
+			}
+		case a.NVEMWriteBuffer:
+			m.writeViaWB(p, key)
+		default:
+			m.devicePartitionWrite(p, key)
+		}
+		m.mm.Update(key, frame{dirty: false})
+	}
+}
+
+// WriteLog implements the commit log write: one page per update transaction
+// (section 3.2), appended sequentially and routed by the log allocation.
+// Under group commit the caller joins the open group and blocks until the
+// group's single shared log write completes.
+func (m *Manager) WriteLog(p *sim.Process) {
+	if !m.cfg.Logging {
+		return
+	}
+	if !m.cfg.GroupCommit {
+		m.writeLogPage(p)
+		return
+	}
+	m.gcWaiters = append(m.gcWaiters, p)
+	if len(m.gcWaiters) == 1 {
+		// Group leader: open the group and flush it after the group window.
+		m.host.SpawnAsync("group-commit", func(ap *sim.Process) {
+			ap.Hold(m.cfg.GroupCommitWaitMS)
+			waiters := m.gcWaiters
+			m.gcWaiters = nil
+			m.stats.GroupCommits++
+			m.writeLogPage(ap) // one I/O carries the whole group's log data
+			for _, w := range waiters {
+				ap.Sim().Activate(w, 0)
+			}
+		})
+	}
+	p.Passivate()
+}
+
+// writeLogPage performs one physical log page write.
+func (m *Manager) writeLogPage(p *sim.Process) {
+	m.stats.LogWrites++
+	key := storage.PageKey{Partition: m.logPartition, Page: m.logNext}
+	m.logNext++
+	switch {
+	case m.cfg.Log.NVEMResident:
+		m.host.NVEMTransfer(p)
+	case m.cfg.Log.NVEMWriteBuffer:
+		m.writeViaWB(p, key)
+	default:
+		m.host.IOOverhead(p)
+		m.units[m.cfg.Log.DiskUnit].Write(p, key)
+	}
+}
+
+// HitRatioMM returns the overall main-memory hit ratio.
+func (m *Manager) HitRatioMM() float64 {
+	if m.stats.Fixes == 0 {
+		return 0
+	}
+	return float64(m.stats.MMHits) / float64(m.stats.Fixes)
+}
+
+// HitRatioNVEM returns NVEM-cache hits as a fraction of all fixes (the
+// "additional hit ratio" of Tables 4.2a/b).
+func (m *Manager) HitRatioNVEM() float64 {
+	if m.stats.Fixes == 0 {
+		return 0
+	}
+	return float64(m.stats.NVEMCacheHits) / float64(m.stats.Fixes)
+}

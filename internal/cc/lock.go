@@ -1,0 +1,325 @@
+// Package cc implements TPSIM's concurrency-control component: strict
+// two-phase locking with long read/write locks, FCFS lock queues with
+// upgrade priority, and wait-for-graph deadlock detection performed on every
+// denied request, aborting the requester that closes the cycle (section
+// 3.2). Lock granularity (none, page or object level) is chosen per
+// partition by the engine.
+package cc
+
+import "fmt"
+
+// TxnID identifies a transaction for locking purposes.
+type TxnID int64
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes. Write conflicts with everything; Read is shared.
+const (
+	Read Mode = iota
+	Write
+)
+
+func (m Mode) String() string {
+	if m == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Granularity is the per-partition concurrency-control choice (CCmode in
+// Table 3.3).
+type Granularity uint8
+
+// Granularity values.
+const (
+	NoCC Granularity = iota // accesses synchronized elsewhere (latches)
+	PageLevel
+	ObjectLevel
+)
+
+// Granule identifies a lockable unit: a page or an object of a partition.
+type Granule struct {
+	Partition int
+	ID        int64
+}
+
+// Result is the outcome of an Acquire call.
+type Result uint8
+
+// Acquire outcomes.
+const (
+	Granted  Result = iota // lock held; proceed
+	Wait                   // queued; the manager will call onGrant later
+	Deadlock               // request would close a cycle; caller must abort
+)
+
+// request is one queued lock request.
+type request struct {
+	txn     TxnID
+	mode    Mode
+	upgrade bool
+}
+
+// lockEntry is the state of one granule's lock.
+type lockEntry struct {
+	holders map[TxnID]Mode
+	queue   []request
+}
+
+func (e *lockEntry) compatible(txn TxnID, mode Mode) bool {
+	for holder, held := range e.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Write || held == Write {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats are the lock manager's counters (the paper's "lock behavior"
+// statistics).
+type Stats struct {
+	Requests  int64
+	Conflicts int64 // requests that had to wait
+	Deadlocks int64
+	Upgrades  int64
+}
+
+// Manager is the lock manager. It is engine-agnostic: when a queued request
+// is eventually granted, the onGrant callback fires (the engine uses it to
+// re-activate the waiting transaction's process).
+type Manager struct {
+	locks   map[Granule]*lockEntry
+	held    map[TxnID]map[Granule]Mode
+	pending map[TxnID]Granule
+	onGrant func(TxnID)
+	stats   Stats
+}
+
+// NewManager creates a lock manager. onGrant may be nil if no transaction
+// ever waits (e.g. single-user tests).
+func NewManager(onGrant func(TxnID)) *Manager {
+	return &Manager{
+		locks:   make(map[Granule]*lockEntry),
+		held:    make(map[TxnID]map[Granule]Mode),
+		pending: make(map[TxnID]Granule),
+		onGrant: onGrant,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// HeldCount returns how many locks txn currently holds.
+func (m *Manager) HeldCount(txn TxnID) int { return len(m.held[txn]) }
+
+// Holds reports whether txn holds g in at least the given mode.
+func (m *Manager) Holds(txn TxnID, g Granule, mode Mode) bool {
+	held, ok := m.held[txn][g]
+	return ok && (held == Write || mode == Read)
+}
+
+// Acquire requests g in the given mode for txn.
+//
+//   - Granted: the lock is held (strict 2PL: it stays held until ReleaseAll).
+//   - Wait: the request conflicts and is queued FCFS (upgrades are placed
+//     ahead of non-upgrades); onGrant(txn) fires when it is granted.
+//   - Deadlock: granting would close a wait-for cycle; the request is NOT
+//     queued and the caller must abort txn (the paper aborts the transaction
+//     causing the deadlock).
+//
+// A transaction may wait for at most one lock at a time.
+func (m *Manager) Acquire(txn TxnID, g Granule, mode Mode) Result {
+	m.stats.Requests++
+	if _, waiting := m.pending[txn]; waiting {
+		panic(fmt.Sprintf("cc: txn %d acquiring while already waiting", txn))
+	}
+
+	held, holdsIt := m.held[txn][g]
+	if holdsIt && (held == Write || mode == Read) {
+		return Granted // already sufficient
+	}
+
+	e := m.locks[g]
+	if e == nil {
+		e = &lockEntry{holders: make(map[TxnID]Mode)}
+		m.locks[g] = e
+	}
+
+	upgrade := holdsIt && held == Read && mode == Write
+	if upgrade {
+		m.stats.Upgrades++
+	}
+
+	if e.compatible(txn, mode) && (len(e.queue) == 0 || upgrade) {
+		// Upgrades may bypass the queue: the upgrader already holds Read,
+		// so queued conflicting requests cannot run anyway.
+		m.grant(txn, g, e, mode)
+		return Granted
+	}
+
+	// Denied: deadlock check before queueing (section 3.2: "deadlock checks
+	// are performed for every denied lock request").
+	m.stats.Conflicts++
+	if m.wouldDeadlock(txn, g, e, upgrade) {
+		m.stats.Deadlocks++
+		return Deadlock
+	}
+
+	req := request{txn: txn, mode: mode, upgrade: upgrade}
+	if upgrade {
+		// Upgrades queue ahead of non-upgrade requests.
+		pos := 0
+		for pos < len(e.queue) && e.queue[pos].upgrade {
+			pos++
+		}
+		e.queue = append(e.queue, request{})
+		copy(e.queue[pos+1:], e.queue[pos:])
+		e.queue[pos] = req
+	} else {
+		e.queue = append(e.queue, req)
+	}
+	m.pending[txn] = g
+	return Wait
+}
+
+// grant records txn as holding g in mode.
+func (m *Manager) grant(txn TxnID, g Granule, e *lockEntry, mode Mode) {
+	e.holders[txn] = mode
+	locks := m.held[txn]
+	if locks == nil {
+		locks = make(map[Granule]Mode)
+		m.held[txn] = locks
+	}
+	locks[g] = mode
+}
+
+// ReleaseAll releases every lock txn holds (commit phase 2 or abort) and
+// grants any now-compatible queued requests. If txn is still waiting for a
+// lock (abort while blocked), the pending request is removed first.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	if g, waiting := m.pending[txn]; waiting {
+		m.removeWaiter(txn, g)
+	}
+	locks := m.held[txn]
+	delete(m.held, txn)
+	for g := range locks {
+		e := m.locks[g]
+		delete(e.holders, txn)
+		m.dispatch(g, e)
+	}
+}
+
+// removeWaiter deletes txn's queued request on g and re-dispatches (removing
+// a waiter can unblock requests behind it).
+func (m *Manager) removeWaiter(txn TxnID, g Granule) {
+	delete(m.pending, txn)
+	e := m.locks[g]
+	if e == nil {
+		return
+	}
+	for i := range e.queue {
+		if e.queue[i].txn == txn {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	m.dispatch(g, e)
+}
+
+// dispatch grants queued requests from the head while they are compatible,
+// firing onGrant for each, and garbage-collects empty entries.
+func (m *Manager) dispatch(g Granule, e *lockEntry) {
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if head.upgrade {
+			// Grantable only when the upgrader is the sole holder.
+			if len(e.holders) != 1 {
+				break
+			}
+			if _, sole := e.holders[head.txn]; !sole {
+				break
+			}
+		} else if !e.compatible(head.txn, head.mode) {
+			break
+		}
+		e.queue = e.queue[1:]
+		delete(m.pending, head.txn)
+		m.grant(head.txn, g, e, head.mode)
+		if m.onGrant != nil {
+			m.onGrant(head.txn)
+		}
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.locks, g)
+	}
+}
+
+// wouldDeadlock reports whether txn waiting on e (for granule g) would close
+// a cycle in the wait-for graph. The requester waits for the lock's current
+// holders and, unless it is an upgrade, for every already-queued waiter.
+func (m *Manager) wouldDeadlock(txn TxnID, g Granule, e *lockEntry, upgrade bool) bool {
+	// Depth-first search over "t waits for u" edges looking for txn.
+	visited := make(map[TxnID]bool)
+	var visit func(t TxnID) bool
+	blockersOf := func(t TxnID) []TxnID {
+		wg, waiting := m.pending[t]
+		if !waiting {
+			return nil
+		}
+		we := m.locks[wg]
+		if we == nil {
+			return nil
+		}
+		var out []TxnID
+		for holder := range we.holders {
+			if holder != t {
+				out = append(out, holder)
+			}
+		}
+		for _, q := range we.queue {
+			if q.txn != t {
+				out = append(out, q.txn)
+			}
+		}
+		return out
+	}
+	visit = func(t TxnID) bool {
+		if t == txn {
+			return true
+		}
+		if visited[t] {
+			return false
+		}
+		visited[t] = true
+		for _, u := range blockersOf(t) {
+			if visit(u) {
+				return true
+			}
+		}
+		return false
+	}
+	// Direct blockers of the hypothetical request.
+	for holder := range e.holders {
+		if holder == txn {
+			continue
+		}
+		if visit(holder) {
+			return true
+		}
+	}
+	if !upgrade {
+		for _, q := range e.queue {
+			if q.txn == txn {
+				continue
+			}
+			if visit(q.txn) {
+				return true
+			}
+		}
+	}
+	return false
+}

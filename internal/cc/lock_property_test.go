@@ -1,0 +1,183 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestWriteGrantOrderFCFS: conflicting write requests on one granule are
+// granted strictly in request order.
+func TestWriteGrantOrderFCFS(t *testing.T) {
+	f := func(n uint8) bool {
+		waiters := int(n%10) + 2
+		var granted []TxnID
+		m := NewManager(func(txn TxnID) { granted = append(granted, txn) })
+		m.Acquire(1, g(0, 1), Write)
+		for i := 2; i <= waiters+1; i++ {
+			if m.Acquire(TxnID(i), g(0, 1), Write) != Wait {
+				return false
+			}
+		}
+		// Release one by one; each release grants exactly the next waiter.
+		m.ReleaseAll(1)
+		for i := 2; i <= waiters+1; i++ {
+			m.ReleaseAll(TxnID(i))
+		}
+		if len(granted) != waiters {
+			return false
+		}
+		for i, txn := range granted {
+			if txn != TxnID(i+2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleLockTransactionsNeverDeadlock: transactions that each request
+// only one granule can chain but never cycle.
+func TestSingleLockTransactionsNeverDeadlock(t *testing.T) {
+	type step struct {
+		Txn  uint8
+		Gran uint8
+		W    bool
+	}
+	f := func(steps []step) bool {
+		m := NewManager(func(TxnID) {})
+		busy := map[TxnID]bool{} // requested its single lock already
+		for _, s := range steps {
+			txn := TxnID(s.Txn%8) + 1
+			if busy[txn] {
+				continue
+			}
+			mode := Read
+			if s.W {
+				mode = Write
+			}
+			if m.Acquire(txn, g(0, int64(s.Gran%8)), mode) == Deadlock {
+				return false
+			}
+			busy[txn] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderedAcquisitionDeadlockFree: when every transaction acquires its
+// granules in globally ascending order, no deadlock can occur even with
+// FCFS queue edges (holder edges strictly increase the waited-on granule,
+// so the wait-for graph cannot cycle). This is the design argument behind
+// Debit-Credit's fixed record-type order (section 3.1).
+func TestOrderedAcquisitionDeadlockFree(t *testing.T) {
+	type step struct {
+		Txn   uint8
+		Grans [4]uint8
+	}
+	f := func(steps []step) bool {
+		m := NewManager(func(TxnID) {})
+		waiting := map[TxnID]bool{}
+		highWater := map[TxnID]int64{} // largest granule requested so far
+		for _, s := range steps {
+			txn := TxnID(s.Txn%6) + 1
+			if waiting[txn] {
+				continue
+			}
+			grans := map[int64]bool{}
+			for _, raw := range s.Grans {
+				grans[int64(raw%16)] = true
+			}
+			for id := int64(0); id < 16; id++ {
+				// Global per-transaction ascending order across all steps.
+				if !grans[id] || (highWater[txn] > 0 && id <= highWater[txn]) {
+					continue
+				}
+				highWater[txn] = id
+				switch m.Acquire(txn, g(0, id), Write) {
+				case Deadlock:
+					return false // impossible under ordered acquisition
+				case Wait:
+					waiting[txn] = true
+				}
+				if waiting[txn] {
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueEdgeDeadlock documents that FCFS queue positions create real
+// wait-for edges: T1(holds 1) waits on 5; T3 (violating the global order:
+// it holds 7) queues on 5 behind T1; T2(holds 5) then requests 7 —
+// T2→T3→T1(queue edge)→T2 is a genuine deadlock under strict FCFS, closed
+// through a queue position rather than a held lock.
+func TestQueueEdgeDeadlock(t *testing.T) {
+	m := NewManager(func(TxnID) {})
+	if m.Acquire(1, g(0, 1), Write) != Granted {
+		t.Fatal("setup")
+	}
+	if m.Acquire(2, g(0, 5), Write) != Granted {
+		t.Fatal("setup")
+	}
+	if m.Acquire(3, g(0, 2), Write) != Granted {
+		t.Fatal("setup")
+	}
+	if m.Acquire(3, g(0, 7), Write) != Granted {
+		t.Fatal("setup")
+	}
+	if m.Acquire(1, g(0, 5), Write) != Wait {
+		t.Fatal("T1 should wait on 5")
+	}
+	if m.Acquire(3, g(0, 5), Write) != Wait { // out of order: T3 holds 7
+		t.Fatal("T3 should queue behind T1")
+	}
+	// T2 closes the cycle through the queue edge T3→T1.
+	if m.Acquire(2, g(0, 7), Write) != Deadlock {
+		t.Fatal("FCFS queue deadlock not detected")
+	}
+}
+
+// TestStrictTwoPhase: no granule is ever available to a conflicting
+// requester before the holder's ReleaseAll.
+func TestStrictTwoPhase(t *testing.T) {
+	m := NewManager(func(TxnID) {})
+	m.Acquire(1, g(0, 1), Write)
+	m.Acquire(1, g(0, 2), Write)
+	// A second transaction conflicts on both.
+	if m.Acquire(2, g(0, 1), Read) != Wait {
+		t.Fatal("should wait")
+	}
+	// Nothing 1 does before ReleaseAll may free the lock: acquiring more
+	// locks, re-acquiring held ones...
+	m.Acquire(1, g(0, 3), Write)
+	m.Acquire(1, g(0, 1), Write)
+	if m.Holds(2, g(0, 1), Read) {
+		t.Fatal("lock leaked before release")
+	}
+	m.ReleaseAll(1)
+	if !m.Holds(2, g(0, 1), Read) {
+		t.Fatal("waiter not granted at release")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := NewManager(func(TxnID) {})
+	m.Acquire(1, g(0, 1), Read)
+	m.Acquire(1, g(0, 1), Write) // upgrade, sole holder
+	m.Acquire(2, g(0, 1), Write) // conflict
+	s := m.Stats()
+	if s.Requests != 3 || s.Upgrades != 1 || s.Conflicts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// engine is one wired-up simulation instance.
+type engine struct {
+	cfg Config
+	s   *sim.Sim
+
+	cpu     *sim.Resource
+	mpl     *sim.Resource
+	nvem    *storage.NVEM
+	units   []*storage.DiskUnit
+	bm      *buffer.Manager
+	locks   *cc.Manager
+	waiting map[cc.TxnID]*sim.Process
+
+	// Random streams: one per concern for reproducibility.
+	cpuRnd  *rng.Stream
+	genRnd  *rng.Stream
+	arrRnd  *rng.Stream
+	unitRnd *rng.Stream
+
+	nextTxn cc.TxnID
+
+	// Measurement.
+	warm          bool
+	resp          *stats.Summary
+	lockWait      *stats.Summary
+	ioWait        *stats.Summary
+	commits       int64
+	aborts        int64
+	dropped       int64
+	stopArrivals  bool
+	baseBuf       buffer.Stats
+	basePart      []buffer.PartitionStats
+	baseLocks     cc.Stats
+	baseCPUBusy   float64
+	warmStartTime sim.Time
+}
+
+// Run executes one simulation described by cfg and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:      cfg,
+		s:        sim.New(),
+		waiting:  make(map[cc.TxnID]*sim.Process),
+		resp:     stats.NewSummary("response", true),
+		lockWait: stats.NewSummary("lock-wait", false),
+		ioWait:   stats.NewSummary("io-wait", false),
+		cpuRnd:   rng.NewStream(cfg.Seed, "cpu"),
+		genRnd:   rng.NewStream(cfg.Seed, "workload"),
+		arrRnd:   rng.NewStream(cfg.Seed, "arrivals"),
+		unitRnd:  rng.NewStream(cfg.Seed, "disk-units"),
+	}
+	e.cpu = e.s.NewResource("cpu", cfg.NumCPU)
+	e.mpl = e.s.NewResource("mpl", cfg.MPL)
+
+	for i := range cfg.DiskUnits {
+		u, err := storage.NewDiskUnit(e.s, cfg.DiskUnits[i], e.unitRnd)
+		if err != nil {
+			return nil, err
+		}
+		e.units = append(e.units, u)
+	}
+	if cfg.Buffer.UsesNVEM() {
+		nvem, err := storage.NewNVEM(e.s, cfg.NVEMServers, cfg.NVEMDelay)
+		if err != nil {
+			return nil, err
+		}
+		e.nvem = nvem
+	}
+
+	names := make([]string, len(cfg.Partitions))
+	for i := range cfg.Partitions {
+		names[i] = cfg.Partitions[i].Name
+	}
+	bm, err := buffer.New(cfg.Buffer, names, e.units, e.nvem, e)
+	if err != nil {
+		return nil, err
+	}
+	e.bm = bm
+	e.locks = cc.NewManager(e.onLockGrant)
+
+	// Arrival processes, one per transaction type.
+	for i := 0; i < cfg.Generator.NumTypes(); i++ {
+		e.spawnArrivals(i)
+	}
+
+	// Warm-up, snapshot, measure.
+	e.s.Run(cfg.WarmupMS)
+	e.snapshot()
+	e.s.Run(cfg.WarmupMS + cfg.MeasureMS)
+	res := e.collect()
+	e.stopArrivals = true
+	e.s.Shutdown()
+	return res, nil
+}
+
+// --- buffer.Host implementation ---
+
+// instrTime converts an exponentially drawn instruction count to CPU
+// milliseconds (MIPS = thousand instructions per millisecond).
+func (e *engine) instrTime(meanInstr float64) sim.Time {
+	return e.cpuRnd.Exp(meanInstr) / (e.cfg.MIPS * 1000)
+}
+
+// cpuBurst runs an exponentially distributed instruction burst on a CPU.
+func (e *engine) cpuBurst(p *sim.Process, meanInstr float64) {
+	e.cpu.Use(p, e.instrTime(meanInstr))
+}
+
+// IOOverhead implements buffer.Host: the CPU pathlength of one I/O.
+func (e *engine) IOOverhead(p *sim.Process) { e.cpuBurst(p, e.cfg.InstrIO) }
+
+// SyncDeviceIO implements buffer.Host: the whole device access runs with
+// the CPU held (AccessMode=synchronous, Table 3.3).
+func (e *engine) SyncDeviceIO(p *sim.Process, fn func()) {
+	e.cpu.Acquire(p)
+	p.Hold(e.instrTime(e.cfg.InstrIO))
+	fn()
+	e.cpu.Release()
+}
+
+// NVEMTransfer implements buffer.Host: a synchronous NVEM page transfer —
+// the CPU stays busy for the instruction overhead AND the transfer itself
+// (a process switch would cost more than the 50µs delay, section 2).
+func (e *engine) NVEMTransfer(p *sim.Process) {
+	e.cpu.Acquire(p)
+	p.Hold(e.instrTime(e.cfg.InstrNVEM))
+	e.nvem.Access(p)
+	e.cpu.Release()
+}
+
+// SpawnAsync implements buffer.Host.
+func (e *engine) SpawnAsync(name string, fn func(p *sim.Process)) {
+	e.s.Spawn(name, 0, fn)
+}
+
+// --- lock integration ---
+
+func (e *engine) onLockGrant(txn cc.TxnID) {
+	p, ok := e.waiting[txn]
+	if !ok {
+		return
+	}
+	delete(e.waiting, txn)
+	e.s.Activate(p, 0)
+}
+
+// acquireLock requests the access's lock; it returns false on deadlock
+// (the caller must abort). It blocks while the request waits.
+func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access) bool {
+	granularity := e.cfg.CCModes[acc.Partition]
+	if granularity == cc.NoCC {
+		return true
+	}
+	id := acc.Page
+	if granularity == cc.ObjectLevel {
+		id = acc.Object
+	}
+	mode := cc.Read
+	if acc.Write {
+		mode = cc.Write
+	}
+	switch e.locks.Acquire(txn, cc.Granule{Partition: acc.Partition, ID: id}, mode) {
+	case cc.Granted:
+		return true
+	case cc.Wait:
+		start := p.Now()
+		e.waiting[txn] = p
+		p.Passivate()
+		if e.warm {
+			e.lockWait.Add(p.Now() - start)
+		}
+		return true
+	default: // cc.Deadlock
+		return false
+	}
+}
+
+// --- workload arrival and transaction execution ---
+
+func (e *engine) spawnArrivals(typeIdx int) {
+	_, rate := e.cfg.Generator.TypeInfo(typeIdx)
+	if rate <= 0 {
+		return
+	}
+	meanInterarrival := 1000.0 / rate // ms
+	e.s.Spawn(fmt.Sprintf("arrivals-%d", typeIdx), 0, func(p *sim.Process) {
+		for !e.stopArrivals {
+			p.Hold(e.arrRnd.Exp(meanInterarrival))
+			if e.stopArrivals {
+				return
+			}
+			tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
+			if len(tx.Accesses) == 0 {
+				continue
+			}
+			if e.mpl.QueueLen() >= e.cfg.MaxQueue {
+				e.dropped++
+				continue
+			}
+			e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+		}
+	})
+}
+
+// runTx executes one transaction to commit, restarting on deadlock aborts
+// (access invariance: the restarted transaction repeats the same accesses).
+func (e *engine) runTx(p *sim.Process, tx workload.Tx) {
+	arrival := p.Now()
+	e.mpl.Acquire(p)
+	defer e.mpl.Release()
+
+	fixTime := sim.Time(0)
+	for {
+		e.nextTxn++
+		txn := e.nextTxn
+		committed := e.attempt(p, txn, tx, &fixTime)
+		if committed {
+			break
+		}
+		if e.warm {
+			e.aborts++
+		}
+		// Abort: release everything and retry. The fresh BOT burst below
+		// guarantees simulated time advances between attempts.
+		e.locks.ReleaseAll(txn)
+	}
+
+	if e.warm {
+		e.commits++
+		e.resp.Add(p.Now() - arrival)
+		e.ioWait.Add(fixTime)
+	}
+}
+
+// attempt runs one execution attempt of tx under transaction id txn.
+// It returns false if the attempt was aborted by deadlock detection.
+func (e *engine) attempt(p *sim.Process, txn cc.TxnID, tx workload.Tx, fixTime *sim.Time) bool {
+	e.cpuBurst(p, e.cfg.InstrBOT)
+
+	for i := range tx.Accesses {
+		acc := &tx.Accesses[i]
+		if !e.acquireLock(p, txn, acc) {
+			return false // deadlock victim
+		}
+		start := p.Now()
+		e.bm.Fix(p, storage.PageKey{Partition: acc.Partition, Page: acc.Page}, acc.Write)
+		if e.warm {
+			*fixTime += p.Now() - start
+		}
+		e.cpuBurst(p, e.cfg.InstrOR)
+	}
+
+	// Commit phase 1: EOT processing, log write, forced page writes.
+	e.cpuBurst(p, e.cfg.InstrEOT)
+	if tx.Update() {
+		e.bm.WriteLog(p)
+		if e.cfg.Buffer.Force {
+			e.bm.ForcePages(p, modifiedPages(tx))
+		}
+	}
+	// Commit phase 2: release locks.
+	e.locks.ReleaseAll(txn)
+	return true
+}
+
+// modifiedPages returns the distinct pages a transaction wrote, in first-
+// write order.
+func modifiedPages(tx workload.Tx) []storage.PageKey {
+	seen := make(map[storage.PageKey]struct{}, len(tx.Accesses))
+	var out []storage.PageKey
+	for i := range tx.Accesses {
+		acc := &tx.Accesses[i]
+		if !acc.Write {
+			continue
+		}
+		key := storage.PageKey{Partition: acc.Partition, Page: acc.Page}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, key)
+	}
+	return out
+}
+
+// --- measurement ---
+
+func (e *engine) snapshot() {
+	e.warm = true
+	e.warmStartTime = e.s.Now()
+	e.baseBuf = e.bm.Stats()
+	e.basePart = e.bm.PartitionStats()
+	e.baseLocks = e.locks.Stats()
+	e.baseCPUBusy = e.cpu.BusyIntegral()
+}
+
+func (e *engine) collect() *Result {
+	window := e.s.Now() - e.warmStartTime
+	res := &Result{
+		Commits: e.commits,
+		Aborts:  e.aborts,
+		Dropped: e.dropped,
+	}
+	for i := 0; i < e.cfg.Generator.NumTypes(); i++ {
+		_, rate := e.cfg.Generator.TypeInfo(i)
+		res.OfferedTPS += rate
+	}
+	if window > 0 {
+		res.Throughput = float64(e.commits) / (window / 1000)
+		res.CPUUtil = (e.cpu.BusyIntegral() - e.baseCPUBusy) / (float64(e.cfg.NumCPU) * window)
+	}
+	res.RespMean = e.resp.Mean()
+	if e.resp.N() > 0 {
+		res.RespP95 = e.resp.Percentile(0.95)
+	}
+	if e.commits > 0 {
+		res.LockWaitMean = e.lockWait.Sum() / float64(e.commits)
+		res.IOWaitMean = e.ioWait.Sum() / float64(e.commits)
+	}
+	res.Saturated = e.dropped > 0 || e.mpl.QueueLen() >= e.cfg.MaxQueue/2
+
+	res.Buffer = subBufferStats(e.bm.Stats(), e.baseBuf)
+	res.Locks = subLockStats(e.locks.Stats(), e.baseLocks)
+	if res.Buffer.Fixes > 0 {
+		res.MMHitPct = 100 * float64(res.Buffer.MMHits) / float64(res.Buffer.Fixes)
+		res.NVEMAddHitPct = 100 * float64(res.Buffer.NVEMCacheHits) / float64(res.Buffer.Fixes)
+	}
+	parts := e.bm.PartitionStats()
+	for i := range parts {
+		d := buffer.PartitionStats{
+			Fixes:    parts[i].Fixes - e.basePart[i].Fixes,
+			MMHits:   parts[i].MMHits - e.basePart[i].MMHits,
+			NVEMHits: parts[i].NVEMHits - e.basePart[i].NVEMHits,
+		}
+		pr := PartitionReport{Name: e.cfg.Partitions[i].Name, Fixes: d.Fixes}
+		if d.Fixes > 0 {
+			pr.MMHitPct = 100 * float64(d.MMHits) / float64(d.Fixes)
+			pr.NVEMHitPct = 100 * float64(d.NVEMHits) / float64(d.Fixes)
+		}
+		res.Partitions = append(res.Partitions, pr)
+	}
+	for i, u := range e.units {
+		res.Units = append(res.Units, UnitReport{
+			Name:            e.cfg.DiskUnits[i].Name,
+			Type:            e.cfg.DiskUnits[i].Type,
+			Stats:           u.Stats(),
+			DiskUtilization: u.DiskUtilization(),
+			CtrlUtilization: u.ControllerUtilization(),
+		})
+	}
+	if e.nvem != nil {
+		res.NVEMUtil = e.nvem.Utilization()
+	}
+	return res
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestMaxQueueDropsArrivals(t *testing.T) {
+	cfg := dcConfig(t, 600)
+	cfg.MPL = 4
+	cfg.MaxQueue = 10
+	cfg.WarmupMS = 500
+	cfg.MeasureMS = 3000
+	// Single slow CPU so the system cannot keep up.
+	cfg.NumCPU = 1
+	cfg.MIPS = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("expected dropped arrivals at the queue cap")
+	}
+	if !res.Saturated {
+		t.Fatal("saturation flag not set")
+	}
+}
+
+func TestObjectLevelLockingRuns(t *testing.T) {
+	cfg := dcConfig(t, 150)
+	cfg.CCModes = []cc.Granularity{cc.ObjectLevel, cc.ObjectLevel, cc.NoCC}
+	cfg.WarmupMS = 1000
+	cfg.MeasureMS = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 || res.Locks.Requests == 0 {
+		t.Fatalf("object-locking run empty: %+v", res)
+	}
+}
+
+func TestNoCCDisablesLocking(t *testing.T) {
+	cfg := dcConfig(t, 150)
+	cfg.CCModes = []cc.Granularity{cc.NoCC, cc.NoCC, cc.NoCC}
+	cfg.WarmupMS = 1000
+	cfg.MeasureMS = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locks.Requests != 0 {
+		t.Fatalf("lock requests = %d with CC off", res.Locks.Requests)
+	}
+}
+
+func TestTraceSourceDrivesEngine(t *testing.T) {
+	tr := &trace.Trace{
+		FilePages: []int64{500, 100},
+		TypeNames: []string{"q", "u"},
+	}
+	// Deterministic mini-trace: alternating small read and update txs.
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			tr.Txs = append(tr.Txs, trace.Tx{Type: 0, Refs: []trace.Ref{
+				{File: 0, Page: int64(i % 500)}, {File: 1, Page: int64(i % 100)},
+			}})
+		} else {
+			tr.Txs = append(tr.Txs, trace.Tx{Type: 1, Refs: []trace.Ref{
+				{File: 0, Page: int64(i % 500), Write: true},
+			}})
+		}
+	}
+	src, err := trace.NewSource(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	cfg.WarmupMS = 1000
+	cfg.MeasureMS = 5000
+	cfg.Partitions = src.Partitions()
+	cfg.Generator = src
+	cfg.CCModes = []cc.Granularity{cc.PageLevel, cc.PageLevel}
+	cfg.DiskUnits = []storage.DiskUnitConfig{
+		{Name: "db", Type: storage.Regular, NumControllers: 4, ContrDelay: 1,
+			TransDelay: 0.4, NumDisks: 16, DiskDelay: 15},
+	}
+	cfg.Buffer = buffer.Config{
+		BufferSize: 300,
+		Logging:    true,
+		Partitions: []buffer.PartitionAlloc{{DiskUnit: 0}, {DiskUnit: 0}},
+		Log:        buffer.LogAlloc{DiskUnit: 0},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no trace transactions committed")
+	}
+	// Only update transactions write the log: about half the commits.
+	if res.Buffer.LogWrites == 0 || res.Buffer.LogWrites >= res.Commits {
+		t.Fatalf("log writes = %d for %d commits, want ~half", res.Buffer.LogWrites, res.Commits)
+	}
+}
+
+func TestMultiTypeSyntheticWorkload(t *testing.T) {
+	model := &workload.Model{
+		Partitions: []workload.Partition{
+			{Name: "a", NumObjects: 10_000, BlockFactor: 10},
+			{Name: "b", NumObjects: 10_000, BlockFactor: 10},
+		},
+		TxTypes: []workload.TxType{
+			{Name: "short", ArrivalRate: 100, TxSize: 2, WriteProb: 0, RefRow: []float64{1, 0}},
+			{Name: "long", ArrivalRate: 20, TxSize: 8, WriteProb: 0.5, VarSize: true, RefRow: []float64{0.5, 0.5}},
+		},
+	}
+	gen, err := workload.NewSynthetic(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	cfg.WarmupMS = 1000
+	cfg.MeasureMS = 8000
+	cfg.Partitions = model.Partitions
+	cfg.Generator = gen
+	cfg.CCModes = []cc.Granularity{cc.PageLevel, cc.PageLevel}
+	cfg.DiskUnits = []storage.DiskUnitConfig{
+		{Name: "db", Type: storage.Regular, NumControllers: 4, ContrDelay: 1,
+			TransDelay: 0.4, NumDisks: 32, DiskDelay: 15},
+	}
+	cfg.Buffer = buffer.Config{
+		BufferSize: 500,
+		Logging:    true,
+		Partitions: []buffer.PartitionAlloc{{DiskUnit: 0}, {DiskUnit: 0}},
+		Log:        buffer.LogAlloc{DiskUnit: 0},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both arrival streams contribute: aggregate ≈ 120 TPS.
+	if math.Abs(res.Throughput-120) > 15 {
+		t.Fatalf("throughput = %v, want ~120", res.Throughput)
+	}
+}
+
+func TestResultReportRenders(t *testing.T) {
+	cfg := dcConfig(t, 100)
+	cfg.WarmupMS = 500
+	cfg.MeasureMS = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, want := range []string{"throughput", "response time", "CPU utilization",
+		"ACCOUNT", "unit db", "unit log"} {
+		if !contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if res.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestResponseCompositionConsistency(t *testing.T) {
+	res, err := Run(dcConfig(t, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean fix (I/O) time per transaction cannot exceed the mean response.
+	if res.IOWaitMean > res.RespMean {
+		t.Fatalf("io wait %v > response %v", res.IOWaitMean, res.RespMean)
+	}
+	if res.LockWaitMean > res.RespMean {
+		t.Fatalf("lock wait %v > response %v", res.LockWaitMean, res.RespMean)
+	}
+	if res.RespP95 < res.RespMean*0.5 {
+		t.Fatalf("p95 %v implausibly below mean %v", res.RespP95, res.RespMean)
+	}
+	// Utilizations are fractions.
+	if res.CPUUtil < 0 || res.CPUUtil > 1 || res.NVEMUtil < 0 || res.NVEMUtil > 1 {
+		t.Fatalf("bad utilizations: cpu=%v nvem=%v", res.CPUUtil, res.NVEMUtil)
+	}
+}
+
+func TestNVEMWriteBufferEnginePath(t *testing.T) {
+	cfg := dcConfig(t, 250)
+	for i := range cfg.Buffer.Partitions {
+		cfg.Buffer.Partitions[i].NVEMWriteBuffer = true
+	}
+	cfg.Buffer.NVEMWriteBufferSize = 2000
+	cfg.Buffer.Log = buffer.LogAlloc{DiskUnit: 1, NVEMWriteBuffer: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffer.VictimToWB == 0 {
+		t.Fatal("write buffer never used")
+	}
+	if res.NVEMUtil <= 0 {
+		t.Fatal("NVEM utilization not recorded")
+	}
+	if res.Buffer.AsyncDiskWrites == 0 {
+		t.Fatal("no asynchronous destages from the write buffer")
+	}
+}
+
+func TestGroupCommitEngineIntegration(t *testing.T) {
+	cfg := dcConfig(t, 300)
+	cfg.DiskUnits[1].NumDisks = 1
+	cfg.DiskUnits[1].NumControllers = 1
+	cfg.Buffer.GroupCommit = true
+	cfg.Buffer.GroupCommitWaitMS = 5
+	cfg.WarmupMS = 2000
+	cfg.MeasureMS = 8000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One log disk at 300 TPS only works because of batching.
+	if res.Saturated {
+		t.Fatalf("group commit failed to sustain 300 TPS on one log disk: %+v", res)
+	}
+	if res.Buffer.GroupCommits == 0 || res.Buffer.LogWrites >= res.Commits {
+		t.Fatalf("batching ineffective: %+v", res.Buffer)
+	}
+}

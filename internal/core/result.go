@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/storage"
+)
+
+// PartitionReport is the per-partition hit breakdown over the measurement
+// window.
+type PartitionReport struct {
+	Name       string
+	Fixes      int64
+	MMHitPct   float64
+	NVEMHitPct float64
+}
+
+// UnitReport is one disk-unit's activity over the whole run.
+type UnitReport struct {
+	Name            string
+	Type            storage.DiskUnitType
+	Stats           storage.DiskUnitStats
+	DiskUtilization float64
+	CtrlUtilization float64
+}
+
+// Result carries every metric a simulation run produces.
+type Result struct {
+	// Load.
+	OfferedTPS float64 // configured aggregate arrival rate
+	Commits    int64   // transactions committed in the window
+	Aborts     int64   // deadlock aborts in the window (restarts)
+	Dropped    int64   // arrivals dropped at the input-queue cap
+	Saturated  bool    // input queue hit its cap: offered load unsustainable
+
+	// Primary metrics (section 4: response time is the headline metric).
+	Throughput   float64 // committed transactions per second
+	RespMean     float64 // ms
+	RespP95      float64 // ms
+	LockWaitMean float64 // mean lock wait per transaction, ms
+	IOWaitMean   float64 // mean time in Fix (buffer/storage) per transaction, ms
+
+	// Utilization over the measurement window.
+	CPUUtil  float64
+	NVEMUtil float64
+
+	// Caching.
+	MMHitPct      float64 // main-memory buffer hit ratio (%)
+	NVEMAddHitPct float64 // additional hits in the NVEM cache (%)
+	Partitions    []PartitionReport
+
+	// Component detail.
+	Buffer buffer.Stats // window delta
+	Locks  cc.Stats     // window delta
+	Units  []UnitReport
+}
+
+// String renders a compact one-line summary for logs and examples.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"offered=%.0f tps thruput=%.1f tps resp=%.2f ms p95=%.2f ms cpu=%.1f%% mmHit=%.1f%% nvemHit=%.1f%% aborts=%d%s",
+		r.OfferedTPS, r.Throughput, r.RespMean, r.RespP95,
+		100*r.CPUUtil, r.MMHitPct, r.NVEMAddHitPct, r.Aborts,
+		map[bool]string{true: " SATURATED", false: ""}[r.Saturated])
+}
+
+// Report renders a multi-line human-readable report.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered load:      %.1f TPS\n", r.OfferedTPS)
+	fmt.Fprintf(&b, "throughput:        %.1f TPS (%d commits, %d aborts, %d dropped)\n",
+		r.Throughput, r.Commits, r.Aborts, r.Dropped)
+	fmt.Fprintf(&b, "response time:     %.2f ms mean, %.2f ms p95\n", r.RespMean, r.RespP95)
+	fmt.Fprintf(&b, "  lock wait:       %.2f ms/tx\n", r.LockWaitMean)
+	fmt.Fprintf(&b, "  fix (I/O) time:  %.2f ms/tx\n", r.IOWaitMean)
+	fmt.Fprintf(&b, "CPU utilization:   %.1f%%\n", 100*r.CPUUtil)
+	if r.NVEMUtil > 0 {
+		fmt.Fprintf(&b, "NVEM utilization:  %.1f%%\n", 100*r.NVEMUtil)
+	}
+	fmt.Fprintf(&b, "hit ratios:        %.1f%% MM + %.1f%% NVEM cache\n", r.MMHitPct, r.NVEMAddHitPct)
+	for _, p := range r.Partitions {
+		fmt.Fprintf(&b, "  %-14s %8d fixes  %5.1f%% MM  %5.1f%% NVEM\n",
+			p.Name, p.Fixes, p.MMHitPct, p.NVEMHitPct)
+	}
+	for _, u := range r.Units {
+		fmt.Fprintf(&b, "unit %-12s %-14s reads=%d writes=%d rHits=%d wHits=%d destages=%d disk=%.1f%% ctrl=%.1f%%\n",
+			u.Name, u.Type, u.Stats.Reads, u.Stats.Writes, u.Stats.ReadHits,
+			u.Stats.WriteHits, u.Stats.Destages, 100*u.DiskUtilization, 100*u.CtrlUtilization)
+	}
+	if r.Saturated {
+		fmt.Fprintf(&b, "WARNING: input queue saturated; offered load exceeds capacity\n")
+	}
+	return b.String()
+}
+
+// subBufferStats returns a-b field-wise.
+func subBufferStats(a, b buffer.Stats) buffer.Stats {
+	return buffer.Stats{
+		Fixes:           a.Fixes - b.Fixes,
+		MMHits:          a.MMHits - b.MMHits,
+		ResidentFixes:   a.ResidentFixes - b.ResidentFixes,
+		NVEMCacheHits:   a.NVEMCacheHits - b.NVEMCacheHits,
+		NVEMReads:       a.NVEMReads - b.NVEMReads,
+		DeviceReads:     a.DeviceReads - b.DeviceReads,
+		VictimWrites:    a.VictimWrites - b.VictimWrites,
+		VictimAsync:     a.VictimAsync - b.VictimAsync,
+		VictimToWB:      a.VictimToWB - b.VictimToWB,
+		VictimToNVEM:    a.VictimToNVEM - b.VictimToNVEM,
+		CleanDrops:      a.CleanDrops - b.CleanDrops,
+		WBFullSync:      a.WBFullSync - b.WBFullSync,
+		AsyncDiskWrites: a.AsyncDiskWrites - b.AsyncDiskWrites,
+		NVEMEvictWrites: a.NVEMEvictWrites - b.NVEMEvictWrites,
+		ForceWrites:     a.ForceWrites - b.ForceWrites,
+		LogWrites:       a.LogWrites - b.LogWrites,
+		GroupCommits:    a.GroupCommits - b.GroupCommits,
+	}
+}
+
+// subLockStats returns a-b field-wise.
+func subLockStats(a, b cc.Stats) cc.Stats {
+	return cc.Stats{
+		Requests:  a.Requests - b.Requests,
+		Conflicts: a.Conflicts - b.Conflicts,
+		Deadlocks: a.Deadlocks - b.Deadlocks,
+		Upgrades:  a.Upgrades - b.Upgrades,
+	}
+}

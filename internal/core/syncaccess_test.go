@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSyncDiskAccessHoldsCPU: with AccessMode=synchronous on the database
+// partitions, the CPU stays busy during the 16.4ms disk accesses, so CPU
+// utilization rises far above the asynchronous configuration at the same
+// load (the reason the paper defaults disks to asynchronous access).
+func TestSyncDiskAccessHoldsCPU(t *testing.T) {
+	asyncCfg := dcConfig(t, 100)
+	asyncCfg.WarmupMS = 2000
+	asyncCfg.MeasureMS = 8000
+	asyncRes, err := Run(asyncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	syncCfg := dcConfig(t, 100)
+	syncCfg.WarmupMS = 2000
+	syncCfg.MeasureMS = 8000
+	for i := range syncCfg.Buffer.Partitions {
+		syncCfg.Buffer.Partitions[i].SyncAccess = true
+	}
+	syncRes, err := Run(syncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ~2 disk I/Os of 16.4ms per tx at 100 TPS is ~3.3 CPU-seconds/s held
+	// across 4 CPUs ≈ +80% utilization.
+	if syncRes.CPUUtil < asyncRes.CPUUtil*2 {
+		t.Fatalf("sync CPU util %.3f vs async %.3f: synchronous access must hold the CPU",
+			syncRes.CPUUtil, asyncRes.CPUUtil)
+	}
+	if syncRes.Commits == 0 {
+		t.Fatal("no commits in synchronous mode")
+	}
+}

@@ -1,0 +1,142 @@
+// Package costmodel implements the storage cost considerations of section 2
+// (Table 2.1): approximate 1990 mainframe prices per megabyte and access
+// times per 4KB page for each level of the extended storage hierarchy, plus
+// cost estimation for complete storage configurations. The paper uses these
+// numbers to argue which combinations of intermediate storage types are
+// cost-effective.
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StorageType is one level of the extended storage hierarchy.
+type StorageType int
+
+// Hierarchy levels of Fig 2.1.
+const (
+	MainMemory StorageType = iota
+	ExtendedMemory
+	SolidStateDisk
+	DiskCache
+	Disk
+)
+
+func (t StorageType) String() string {
+	switch t {
+	case MainMemory:
+		return "main memory"
+	case ExtendedMemory:
+		return "extended memory"
+	case SolidStateDisk:
+		return "solid-state disk"
+	case DiskCache:
+		return "disk cache"
+	case Disk:
+		return "disk"
+	default:
+		return fmt.Sprintf("StorageType(%d)", int(t))
+	}
+}
+
+// Band is a [low, high] range.
+type Band struct {
+	Lo, Hi float64
+}
+
+// Mid returns the band's midpoint.
+func (b Band) Mid() float64 { return (b.Lo + b.Hi) / 2 }
+
+// Entry is one row of Table 2.1.
+type Entry struct {
+	PricePerMB Band // US-$ per MB (large systems, ~1990)
+	AccessMS   Band // access time per 4KB page, milliseconds
+}
+
+// Table21 returns the paper's Table 2.1. Main memory is about twice the
+// price of extended memory; the disk-cache price (a "?" in the paper) is
+// assumed comparable to SSD store since both are controller semiconductor
+// memory.
+func Table21() map[StorageType]Entry {
+	return map[StorageType]Entry{
+		MainMemory:     {PricePerMB: Band{2000, 4000}, AccessMS: Band{0.00001, 0.0001}},
+		ExtendedMemory: {PricePerMB: Band{1000, 2000}, AccessMS: Band{0.01, 0.1}},
+		SolidStateDisk: {PricePerMB: Band{500, 1000}, AccessMS: Band{1, 3}},
+		DiskCache:      {PricePerMB: Band{500, 1000}, AccessMS: Band{1, 3}},
+		Disk:           {PricePerMB: Band{3, 20}, AccessMS: Band{10, 20}},
+	}
+}
+
+// PageMB is the size of one 4KB database page in megabytes.
+const PageMB = 4.0 / 1024.0
+
+// Component is one priced part of a storage configuration.
+type Component struct {
+	Label string
+	Type  StorageType
+	MB    float64
+}
+
+// Cost returns the component's midpoint cost in dollars.
+func (c Component) Cost() float64 { return c.MB * Table21()[c.Type].PricePerMB.Mid() }
+
+// Breakdown is a priced storage configuration.
+type Breakdown struct {
+	Label      string
+	Components []Component
+}
+
+// Add appends a component; zero-size components are skipped.
+func (b *Breakdown) Add(label string, t StorageType, mb float64) {
+	if mb <= 0 {
+		return
+	}
+	b.Components = append(b.Components, Component{Label: label, Type: t, MB: mb})
+}
+
+// AddPages prices page frames of the given storage type.
+func (b *Breakdown) AddPages(label string, t StorageType, pages int64) {
+	b.Add(label, t, float64(pages)*PageMB)
+}
+
+// Total returns the midpoint total cost in dollars.
+func (b *Breakdown) Total() float64 {
+	sum := 0.0
+	for _, c := range b.Components {
+		sum += c.Cost()
+	}
+	return sum
+}
+
+// Render formats the breakdown.
+func (b *Breakdown) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: total $%.0f\n", b.Label, b.Total())
+	for _, c := range b.Components {
+		fmt.Fprintf(&sb, "  %-28s %-16s %10.1f MB  $%.0f\n", c.Label, c.Type, c.MB, c.Cost())
+	}
+	return sb.String()
+}
+
+// RenderTable21 renders the price/latency table itself.
+func RenderTable21() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2.1: storage price and access time (approx. 1990, large systems)\n")
+	fmt.Fprintf(&sb, "%-18s %16s %22s\n", "storage type", "price [$/MB]", "access per 4KB page")
+	order := []StorageType{MainMemory, ExtendedMemory, SolidStateDisk, DiskCache, Disk}
+	t := Table21()
+	for _, ty := range order {
+		e := t[ty]
+		fmt.Fprintf(&sb, "%-18s %7.0f - %6.0f %12s\n",
+			ty.String(), e.PricePerMB.Lo, e.PricePerMB.Hi, fmtAccess(e.AccessMS))
+	}
+	return sb.String()
+}
+
+func fmtAccess(b Band) string {
+	if b.Hi < 1 {
+		return fmt.Sprintf("%.0f - %.0f us", b.Lo*1000, b.Hi*1000)
+	}
+	return fmt.Sprintf("%.0f - %.0f ms", b.Lo, b.Hi)
+}

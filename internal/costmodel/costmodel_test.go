@@ -1,0 +1,93 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable21Bands(t *testing.T) {
+	tbl := Table21()
+	if len(tbl) != 5 {
+		t.Fatalf("table has %d rows", len(tbl))
+	}
+	// Paper's ordering: main memory > extended memory > SSD ≈ disk cache > disk.
+	if !(tbl[MainMemory].PricePerMB.Mid() > tbl[ExtendedMemory].PricePerMB.Mid()) {
+		t.Error("main memory must cost more than extended memory")
+	}
+	if !(tbl[ExtendedMemory].PricePerMB.Mid() > tbl[SolidStateDisk].PricePerMB.Mid()) {
+		t.Error("extended memory must cost more than SSD")
+	}
+	if !(tbl[SolidStateDisk].PricePerMB.Mid() > tbl[Disk].PricePerMB.Mid()) {
+		t.Error("SSD must cost more than disk")
+	}
+	// "Main memory is twice as expensive as extended memory (per MB)".
+	ratio := tbl[MainMemory].PricePerMB.Mid() / tbl[ExtendedMemory].PricePerMB.Mid()
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("MM/EM price ratio = %v, want ~2", ratio)
+	}
+	// Access-time ordering: EM << SSD << disk.
+	if !(tbl[ExtendedMemory].AccessMS.Hi < tbl[SolidStateDisk].AccessMS.Lo) {
+		t.Error("extended memory must be faster than SSD")
+	}
+	if !(tbl[SolidStateDisk].AccessMS.Hi < tbl[Disk].AccessMS.Lo) {
+		t.Error("SSD must be faster than disk")
+	}
+}
+
+func TestBandMid(t *testing.T) {
+	if got := (Band{10, 20}).Mid(); got != 15 {
+		t.Fatalf("mid = %v", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Label = "test"
+	b.Add("db on disk", Disk, 1000)
+	b.AddPages("buffer", MainMemory, 2000)
+	b.Add("skipped", Disk, 0) // zero-size components are dropped
+	if len(b.Components) != 2 {
+		t.Fatalf("components = %d", len(b.Components))
+	}
+	// 1000 MB at $11.5/MB + 2000 pages = 7.8125 MB at $3000/MB.
+	want := 1000*11.5 + 2000*PageMB*3000
+	if got := b.Total(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("total = %v, want ~%v", got, want)
+	}
+	out := b.Render()
+	for _, s := range []string{"test", "db on disk", "buffer", "main memory"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("render missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestStorageTypeString(t *testing.T) {
+	for ty, want := range map[StorageType]string{
+		MainMemory: "main memory", ExtendedMemory: "extended memory",
+		SolidStateDisk: "solid-state disk", DiskCache: "disk cache", Disk: "disk",
+	} {
+		if ty.String() != want {
+			t.Fatalf("%d.String() = %q", ty, ty.String())
+		}
+	}
+	if !strings.Contains(StorageType(42).String(), "42") {
+		t.Fatal("unknown type must render its number")
+	}
+}
+
+func TestRenderTable21(t *testing.T) {
+	out := RenderTable21()
+	for _, s := range []string{"Table 2.1", "main memory", "disk", "us", "ms"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("render missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestPageMB(t *testing.T) {
+	// 256 pages of 4KB = 1 MB.
+	if got := 256 * PageMB; got != 1.0 {
+		t.Fatalf("256 pages = %v MB", got)
+	}
+}

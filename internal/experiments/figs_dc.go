@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Fig41 reproduces Fig 4.1: influence of log file allocation on Debit-Credit
+// response time (NOFORCE). Four allocations: a single log disk, a single log
+// disk with a 500-page non-volatile cache write buffer, SSD, and NVEM.
+func Fig41(o Options) (*stats.Figure, error) {
+	fig := &stats.Figure{
+		Title:  "Fig 4.1: Influence of log file allocation (Debit-Credit, NOFORCE)",
+		XLabel: "TPS",
+		YLabel: "mean response time [ms]",
+		X:      o.rates(),
+	}
+	schemes := []struct {
+		label string
+		log   LogSpec
+	}{
+		{"log-single-disk", LogSpec{Kind: LogDisk, Disks: 1}},
+		{"log-disk+nv-cache", LogSpec{Kind: LogDiskWB, Disks: 1, Size: 500}},
+		{"log-ssd", LogSpec{Kind: LogSSD}},
+		{"log-nvem", LogSpec{Kind: LogNVEM}},
+	}
+	for _, sc := range schemes {
+		var points []float64
+		for _, rate := range fig.X {
+			res, err := DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: sc.log}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fig4.1 %s @%v: %w", sc.label, rate, err)
+			}
+			points = append(points, res.RespMean)
+		}
+		if err := fig.AddSeries(sc.label, points); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// dbSchemes42 are the six database allocations of Fig 4.2. Database
+// partitions and log use the same device type to emphasize the relative
+// differences (section 4.3).
+func dbSchemes42() []struct {
+	Label string
+	DB    DBSpec
+	Log   LogSpec
+} {
+	return []struct {
+		Label string
+		DB    DBSpec
+		Log   LogSpec
+	}{
+		{"disk", DBSpec{Kind: DBRegular}, LogSpec{Kind: LogDisk}},
+		{"disk-cache-wb", DBSpec{Kind: DBDiskCacheWB, Size: 500}, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{"nvem-wb", DBSpec{Kind: DBNVEMWB, Size: 1000}, LogSpec{Kind: LogNVEMWB}},
+		{"ssd", DBSpec{Kind: DBSSD}, LogSpec{Kind: LogSSD}},
+		{"nvem-resident", DBSpec{Kind: DBNVEMResident}, LogSpec{Kind: LogNVEM}},
+		{"mm-resident", DBSpec{Kind: DBMMResident}, LogSpec{Kind: LogDisk}},
+	}
+}
+
+// Fig42 reproduces Fig 4.2: impact of database allocation (Debit-Credit,
+// NOFORCE).
+func Fig42(o Options) (*stats.Figure, error) {
+	fig := &stats.Figure{
+		Title:  "Fig 4.2: Impact of database allocation (Debit-Credit, NOFORCE)",
+		XLabel: "TPS",
+		YLabel: "mean response time [ms]",
+		X:      o.rates(),
+	}
+	for _, sc := range dbSchemes42() {
+		var points []float64
+		for _, rate := range fig.X {
+			res, err := DCSetup{Rate: rate, DB: sc.DB, Log: sc.Log}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fig4.2 %s @%v: %w", sc.Label, rate, err)
+			}
+			points = append(points, res.RespMean)
+		}
+		if err := fig.AddSeries(sc.Label, points); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// Fig43 reproduces Fig 4.3: FORCE vs NOFORCE for three storage allocations
+// (disk-based, disk-cache write buffer, NVEM-resident).
+func Fig43(o Options) (*stats.Figure, error) {
+	fig := &stats.Figure{
+		Title:  "Fig 4.3: FORCE vs. NOFORCE (Debit-Credit)",
+		XLabel: "TPS",
+		YLabel: "mean response time [ms]",
+		X:      o.rates(),
+	}
+	schemes := []struct {
+		label string
+		db    DBSpec
+		log   LogSpec
+	}{
+		{"disk", DBSpec{Kind: DBRegular}, LogSpec{Kind: LogDisk}},
+		{"disk-cache-wb", DBSpec{Kind: DBDiskCacheWB, Size: 500}, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{"nvem-resident", DBSpec{Kind: DBNVEMResident}, LogSpec{Kind: LogNVEM}},
+	}
+	for _, sc := range schemes {
+		for _, force := range []bool{true, false} {
+			name := "NOFORCE"
+			if force {
+				name = "FORCE"
+			}
+			var points []float64
+			for _, rate := range fig.X {
+				res, err := DCSetup{Rate: rate, Force: force, DB: sc.db, Log: sc.log}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("fig4.3 %s/%s @%v: %w", name, sc.label, rate, err)
+				}
+				points = append(points, res.RespMean)
+			}
+			if err := fig.AddSeries(name+":"+sc.label, points); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fig, nil
+}
+
+// cachingSchemes are the second-level-cache configurations of Fig 4.4 and
+// Tables 4.2a/b. In configurations with non-volatile disk caches or NVEM,
+// those storage types are also used for logging (section 4.5).
+func cachingSchemes() []struct {
+	Label string
+	DB    DBSpec
+	Log   LogSpec
+} {
+	return []struct {
+		Label string
+		DB    DBSpec
+		Log   LogSpec
+	}{
+		{"mm-only", DBSpec{Kind: DBRegular}, LogSpec{Kind: LogDisk}},
+		{"vol-cache-1000", DBSpec{Kind: DBVolCache, Size: 1000}, LogSpec{Kind: LogDisk}},
+		{"wb-in-nv-cache", DBSpec{Kind: DBDiskCacheWB, Size: 500}, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{"nv-cache-1000", DBSpec{Kind: DBNVCache, Size: 1000}, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{"nvem-cache-500", DBSpec{Kind: DBNVEMCache, Size: 500}, LogSpec{Kind: LogNVEM}},
+		{"nvem-cache-1000", DBSpec{Kind: DBNVEMCache, Size: 1000}, LogSpec{Kind: LogNVEM}},
+	}
+}
+
+// fig44Sizes is the main-memory buffer sweep of Fig 4.4.
+func (o Options) mmSizes() []int {
+	if o.Quick {
+		return []int{500, 2000}
+	}
+	return []int{200, 500, 1000, 2000, 5000}
+}
+
+// Fig44 reproduces Fig 4.4: impact of caching for different main-memory
+// buffer sizes (NOFORCE, 500 TPS).
+func Fig44(o Options) (*stats.Figure, error) {
+	sizes := o.mmSizes()
+	fig := &stats.Figure{
+		Title:  "Fig 4.4: Impact of caching vs. main memory buffer size (NOFORCE, 500 TPS)",
+		XLabel: "MM buffer [pages]",
+		YLabel: "mean response time [ms]",
+	}
+	for _, s := range sizes {
+		fig.X = append(fig.X, float64(s))
+	}
+	for _, sc := range cachingSchemes() {
+		var points []float64
+		for _, mm := range sizes {
+			res, err := DCSetup{Rate: 500, MMBuffer: mm, DB: sc.DB, Log: sc.Log}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("fig4.4 %s mm=%d: %w", sc.Label, mm, err)
+			}
+			points = append(points, res.RespMean)
+		}
+		if err := fig.AddSeries(sc.Label, points); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// Table42 reproduces Table 4.2a (NOFORCE) or 4.2b (FORCE): main-memory and
+// second-level cache hit ratios for different buffer sizes at 500 TPS.
+// The first row is the main-memory hit ratio of the cacheless configuration;
+// the remaining rows are the ADDITIONAL hits in each second-level cache.
+func Table42(o Options, force bool) (*stats.Table, error) {
+	sizes := o.mmSizes()
+	cols := make([]string, len(sizes))
+	for i, s := range sizes {
+		cols[i] = fmt.Sprint(s)
+	}
+	variant, name := "a", "NOFORCE"
+	if force {
+		variant, name = "b", "FORCE"
+	}
+	rows := []string{"main memory", "vol. disk cache 1000", "nv disk cache 1000", "NVEM cache 1000"}
+	if !force {
+		rows = append(rows, "NVEM cache 500")
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Table 4.2%s: MM and 2nd-level cache hit ratios in %% (%s, 500 TPS)", variant, name),
+		"cache \\ MM size", rows, cols)
+
+	type rowSpec struct {
+		db  DBSpec
+		log LogSpec
+	}
+	specs := []rowSpec{
+		{DBSpec{Kind: DBRegular}, LogSpec{Kind: LogDisk}},
+		{DBSpec{Kind: DBVolCache, Size: 1000}, LogSpec{Kind: LogDisk}},
+		{DBSpec{Kind: DBNVCache, Size: 1000}, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{DBSpec{Kind: DBNVEMCache, Size: 1000}, LogSpec{Kind: LogNVEM}},
+	}
+	if !force {
+		specs = append(specs, rowSpec{DBSpec{Kind: DBNVEMCache, Size: 500}, LogSpec{Kind: LogNVEM}})
+	}
+	for r, spec := range specs {
+		for c, mm := range sizes {
+			res, err := DCSetup{Rate: 500, Force: force, MMBuffer: mm, DB: spec.db, Log: spec.log}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("table4.2%s row %d mm=%d: %w", variant, r, mm, err)
+			}
+			if r == 0 {
+				tbl.Set(r, c, res.MMHitPct)
+				continue
+			}
+			// Second-level hits: NVEM cache hits from the buffer manager,
+			// disk-cache read hits from the unit (as a fraction of fixes).
+			switch spec.db.Kind {
+			case DBNVEMCache:
+				tbl.Set(r, c, res.NVEMAddHitPct)
+			default:
+				fixes := res.Buffer.Fixes
+				if fixes > 0 {
+					tbl.Set(r, c, 100*float64(res.Units[0].Stats.ReadHits)/float64(fixes))
+				}
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// fig45Sizes is the second-level cache sweep of Fig 4.5.
+func (o Options) secondLevelSizes() []int {
+	if o.Quick {
+		return []int{500, 2000}
+	}
+	return []int{200, 500, 1000, 2000, 5000}
+}
+
+// Fig45 reproduces Fig 4.5: impact of the 2nd-level buffer size (NOFORCE,
+// 500 TPS, 500-page main-memory buffer): response times and additional hit
+// ratios per cache type.
+func Fig45(o Options) (*stats.Figure, *stats.Figure, error) {
+	sizes := o.secondLevelSizes()
+	respFig := &stats.Figure{
+		Title:  "Fig 4.5a: Response time vs. 2nd-level cache size (NOFORCE, 500 TPS, MM=500)",
+		XLabel: "2nd-level size [pages]",
+		YLabel: "mean response time [ms]",
+	}
+	hitFig := &stats.Figure{
+		Title:  "Fig 4.5b: Additional 2nd-level hit ratio vs. cache size (in % of all fixes)",
+		XLabel: "2nd-level size [pages]",
+		YLabel: "hit ratio [%]",
+	}
+	for _, s := range sizes {
+		respFig.X = append(respFig.X, float64(s))
+		hitFig.X = append(hitFig.X, float64(s))
+	}
+	schemes := []struct {
+		label string
+		kind  DBKind
+		log   LogSpec
+	}{
+		{"vol-disk-cache", DBVolCache, LogSpec{Kind: LogDisk}},
+		{"nv-disk-cache", DBNVCache, LogSpec{Kind: LogDiskWB, Size: 500}},
+		{"nvem-cache", DBNVEMCache, LogSpec{Kind: LogNVEM}},
+	}
+	for _, sc := range schemes {
+		var resp, hits []float64
+		for _, size := range sizes {
+			res, err := DCSetup{
+				Rate: 500, MMBuffer: 500,
+				DB:  DBSpec{Kind: sc.kind, Size: size},
+				Log: sc.log,
+			}.Run(o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig4.5 %s size=%d: %w", sc.label, size, err)
+			}
+			resp = append(resp, res.RespMean)
+			if sc.kind == DBNVEMCache {
+				hits = append(hits, res.NVEMAddHitPct)
+			} else if res.Buffer.Fixes > 0 {
+				hits = append(hits, 100*float64(res.Units[0].Stats.ReadHits)/float64(res.Buffer.Fixes))
+			} else {
+				hits = append(hits, 0)
+			}
+		}
+		if err := respFig.AddSeries(sc.label, resp); err != nil {
+			return nil, nil, err
+		}
+		if err := hitFig.AddSeries(sc.label, hits); err != nil {
+			return nil, nil, err
+		}
+	}
+	return respFig, hitFig, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one reproducible unit of the paper's evaluation.
+type Experiment struct {
+	Name  string // id used on the command line, e.g. "fig4.1"
+	Title string
+	Run   func(o Options) (string, error)
+}
+
+// All returns every experiment, sorted by name.
+func All() []Experiment {
+	exps := []Experiment{
+		{
+			Name:  "fig4.1",
+			Title: "Influence of log file allocation (Debit-Credit, NOFORCE)",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig41(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.2",
+			Title: "Impact of database allocation (Debit-Credit, NOFORCE)",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig42(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.3",
+			Title: "FORCE vs. NOFORCE update strategy (Debit-Credit)",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig43(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.4",
+			Title: "Impact of caching for different main-memory buffer sizes (NOFORCE, 500 TPS)",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig44(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "table4.2a",
+			Title: "MM and 2nd-level cache hit ratios, NOFORCE",
+			Run: func(o Options) (string, error) {
+				tbl, err := Table42(o, false)
+				if err != nil {
+					return "", err
+				}
+				return tbl.Render(), nil
+			},
+		},
+		{
+			Name:  "table4.2b",
+			Title: "MM and 2nd-level cache hit ratios, FORCE",
+			Run: func(o Options) (string, error) {
+				tbl, err := Table42(o, true)
+				if err != nil {
+					return "", err
+				}
+				return tbl.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.5",
+			Title: "Impact of 2nd-level buffer size (NOFORCE, 500 TPS, MM=500)",
+			Run: func(o Options) (string, error) {
+				resp, hits, err := Fig45(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + hits.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.6",
+			Title: "Main-memory buffer size for the real-life trace workload",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig46(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.7",
+			Title: "2nd-level buffer size for the real-life trace workload",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig47(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "fig4.8",
+			Title: "Page- vs. object-locking under lock contention",
+			Run: func(o Options) (string, error) {
+				fig, err := Fig48(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "table2.1",
+			Title: "Storage prices / access times and cost-effectiveness",
+			Run:   Table21,
+		},
+		{
+			Name:  "ablation.group-commit",
+			Title: "Group commit vs. NV memory on a single log disk",
+			Run: func(o Options) (string, error) {
+				fig, err := AblationGroupCommit(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "ablation.async-replacement",
+			Title: "Asynchronous buffer replacement vs. write buffer",
+			Run: func(o Options) (string, error) {
+				fig, err := AblationAsyncReplacement(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "ablation.migration-modes",
+			Title: "NVEM cache migration modes on the trace workload",
+			Run: func(o Options) (string, error) {
+				fig, err := AblationMigrationModes(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "ablation.destage-policy",
+			Title: "Immediate vs. deferred NVEM→disk propagation under FORCE",
+			Run:   AblationDestagePolicy,
+		},
+		{
+			Name:  "ablation.clustering",
+			Title: "BRANCH/TELLER clustering vs. separate record types",
+			Run:   AblationClustering,
+		},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	return exps
+}
+
+// ByName finds an experiment by id.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+		name, strings.Join(names, ", "))
+}

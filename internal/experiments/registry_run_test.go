@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsQuick executes the complete registry in quick mode
+// — the same code paths cmd/experiments and bench_test.go use — and checks
+// each output renders with its series/rows present.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	wantFragments := map[string][]string{
+		"fig4.1":                     {"log-single-disk", "log-nvem"},
+		"fig4.2":                     {"disk", "ssd", "nvem-resident", "mm-resident"},
+		"fig4.3":                     {"FORCE:disk", "NOFORCE:nvem-resident"},
+		"fig4.4":                     {"mm-only", "nvem-cache-1000"},
+		"fig4.5":                     {"Fig 4.5a", "Fig 4.5b", "nvem-cache"},
+		"fig4.6":                     {"mm-only", "ssd", "nvem-resident"},
+		"fig4.7":                     {"vol-disk-cache", "nvem-cache"},
+		"fig4.8":                     {"disk:page-locks", "nvem:page-locks"},
+		"table4.2a":                  {"main memory", "NVEM cache 500"},
+		"table4.2b":                  {"main memory", "FORCE"},
+		"table2.1":                   {"extended memory", "measured response"},
+		"ablation.group-commit":      {"group-commit"},
+		"ablation.async-replacement": {"async-replacement"},
+		"ablation.migration-modes":   {"nvem-add-hit-pct"},
+		"ablation.destage-policy":    {"immediate", "deferred"},
+		"ablation.clustering":        {"clustered", "unclustered"},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			out, err := e.Run(quick)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+			for _, frag := range wantFragments[e.Name] {
+				if !strings.Contains(out, frag) {
+					t.Errorf("%s output missing %q:\n%s", e.Name, frag, out)
+				}
+			}
+		})
+	}
+}

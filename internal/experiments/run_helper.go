@@ -1,0 +1,7 @@
+package experiments
+
+import "repro/internal/core"
+
+// runEngine executes an already-assembled configuration; used by ablation
+// variants that mutate a built configuration.
+func runEngine(cfg core.Config) (*core.Result, error) { return core.Run(cfg) }

@@ -1,0 +1,213 @@
+// Package experiments builds and runs the storage configurations of the
+// paper's evaluation (section 4) and renders each figure and table as a
+// text series. Every experiment id from DESIGN.md's per-experiment index
+// (fig4.1 ... fig4.8, table4.2a/b, table2.1) has a runner here, shared by
+// cmd/experiments and the benchmark harness in bench_test.go.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Options tunes run length and sweep density. The zero value means full
+// paper-scale runs; Quick shrinks windows and sweep points for benchmarks
+// and smoke tests.
+type Options struct {
+	Seed  int64
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// warm/measure windows (simulated milliseconds).
+func (o Options) windows() (warm, measure float64) {
+	if o.Quick {
+		return 6_000, 10_000
+	}
+	return 12_000, 25_000
+}
+
+// rates returns the arrival-rate sweep (TPS) of the Debit-Credit figures.
+func (o Options) rates() []float64 {
+	if o.Quick {
+		return []float64{50, 200, 500}
+	}
+	return []float64{10, 100, 200, 300, 500, 700}
+}
+
+// DBKind enumerates the database allocation schemes of sections 4.2-4.5.
+type DBKind int
+
+// Database allocation schemes.
+const (
+	DBRegular      DBKind = iota // partitions on regular disks
+	DBDiskCacheWB                // disks, non-volatile controller cache as pure write buffer
+	DBVolCache                   // disks with a volatile controller cache (LRU)
+	DBNVCache                    // disks with a non-volatile controller cache (LRU)
+	DBSSD                        // partitions on solid-state disks
+	DBNVEMResident               // partitions resident in NVEM
+	DBMMResident                 // partitions resident in main memory
+	DBNVEMWB                     // disks + NVEM write buffer
+	DBNVEMCache                  // disks + NVEM second-level database cache
+)
+
+// DBSpec is a database allocation with its cache/buffer size where relevant.
+type DBSpec struct {
+	Kind DBKind
+	Size int // frames: disk cache, NVEM cache, or NVEM write buffer size
+}
+
+// LogKind enumerates the log allocation schemes of section 4.2.
+type LogKind int
+
+// Log allocation schemes.
+const (
+	LogDisk   LogKind = iota // log disks without write buffer
+	LogDiskWB                // log disk(s) with a non-volatile cache write buffer
+	LogSSD                   // log on solid-state disk
+	LogNVEM                  // log resident in NVEM
+	LogNVEMWB                // log disk(s) behind the NVEM write buffer
+)
+
+// LogSpec is a log allocation with its disk count and write-buffer size.
+type LogSpec struct {
+	Kind  LogKind
+	Disks int // log disk servers (1 reproduces the Fig 4.1 bottleneck)
+	Size  int // write-buffer frames for LogDiskWB
+}
+
+// DCSetup fully describes one Debit-Credit simulation point.
+type DCSetup struct {
+	Rate     float64
+	Force    bool
+	MMBuffer int
+	DB       DBSpec
+	Log      LogSpec
+}
+
+// Build assembles the engine configuration for the setup.
+func (s DCSetup) Build(o Options) (core.Config, error) {
+	gen, err := workload.NewDebitCredit(workload.DefaultDebitCreditConfig(s.Rate))
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Defaults()
+	cfg.Seed = o.seed()
+	cfg.WarmupMS, cfg.MeasureMS = o.windows()
+	cfg.Partitions = gen.Partitions()
+	cfg.Generator = gen
+	cfg.CCModes = []cc.Granularity{cc.PageLevel, cc.PageLevel, cc.NoCC}
+
+	if s.MMBuffer == 0 {
+		s.MMBuffer = 2000 // Table 4.1 default
+	}
+	if s.Log.Disks == 0 {
+		s.Log.Disks = 8 // "sufficient to avoid bottlenecks"
+	}
+
+	dbUnit := storage.DiskUnitConfig{
+		Name: "db", Type: storage.Regular,
+		NumControllers: 12, ContrDelay: core.DefaultContrDelay,
+		TransDelay: core.DefaultTransDelay,
+		NumDisks:   96, DiskDelay: core.DefaultDBDiskDelay,
+	}
+	part := buffer.PartitionAlloc{DiskUnit: 0}
+	bufCfg := buffer.Config{
+		BufferSize: s.MMBuffer,
+		Force:      s.Force,
+		Logging:    true,
+	}
+
+	switch s.DB.Kind {
+	case DBRegular:
+	case DBDiskCacheWB:
+		dbUnit.Type = storage.NVCache
+		dbUnit.CacheSize = orDefault(s.DB.Size, 500)
+		dbUnit.WriteBufferOnly = true
+	case DBVolCache:
+		dbUnit.Type = storage.VolatileCache
+		dbUnit.CacheSize = orDefault(s.DB.Size, 1000)
+	case DBNVCache:
+		dbUnit.Type = storage.NVCache
+		dbUnit.CacheSize = orDefault(s.DB.Size, 1000)
+	case DBSSD:
+		dbUnit.Type = storage.SSD
+		dbUnit.NumDisks = 0
+		dbUnit.DiskDelay = 0
+	case DBNVEMResident:
+		part = buffer.PartitionAlloc{NVEMResident: true}
+	case DBMMResident:
+		part = buffer.PartitionAlloc{MMResident: true}
+	case DBNVEMWB:
+		part.NVEMWriteBuffer = true
+		bufCfg.NVEMWriteBufferSize = orDefault(s.DB.Size, 1000)
+	case DBNVEMCache:
+		part.NVEMCache = true
+		part.NVEMCacheMode = buffer.MigrateAll
+		bufCfg.NVEMCacheSize = orDefault(s.DB.Size, 1000)
+	default:
+		return core.Config{}, fmt.Errorf("experiments: unknown DB kind %d", s.DB.Kind)
+	}
+	bufCfg.Partitions = []buffer.PartitionAlloc{part, part, part}
+
+	logUnit := storage.DiskUnitConfig{
+		Name: "log", Type: storage.Regular,
+		NumControllers: 2, ContrDelay: core.DefaultContrDelay,
+		TransDelay: core.DefaultTransDelay,
+		NumDisks:   s.Log.Disks, DiskDelay: core.DefaultLogDiskDelay,
+	}
+	switch s.Log.Kind {
+	case LogDisk:
+	case LogDiskWB:
+		logUnit.Type = storage.NVCache
+		logUnit.CacheSize = orDefault(s.Log.Size, 500)
+		logUnit.WriteBufferOnly = true
+	case LogSSD:
+		logUnit.Type = storage.SSD
+		logUnit.NumDisks = 0
+		logUnit.DiskDelay = 0
+	case LogNVEM:
+		bufCfg.Log = buffer.LogAlloc{NVEMResident: true}
+	case LogNVEMWB:
+		bufCfg.Log = buffer.LogAlloc{DiskUnit: 1, NVEMWriteBuffer: true}
+		if bufCfg.NVEMWriteBufferSize == 0 {
+			bufCfg.NVEMWriteBufferSize = 1000
+		}
+	default:
+		return core.Config{}, fmt.Errorf("experiments: unknown log kind %d", s.Log.Kind)
+	}
+	if s.Log.Kind != LogNVEM && s.Log.Kind != LogNVEMWB {
+		bufCfg.Log = buffer.LogAlloc{DiskUnit: 1}
+	}
+
+	cfg.DiskUnits = []storage.DiskUnitConfig{dbUnit, logUnit}
+	cfg.Buffer = bufCfg
+	return cfg, nil
+}
+
+// Run builds and executes the setup.
+func (s DCSetup) Run(o Options) (*core.Result, error) {
+	cfg, err := s.Build(o)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(cfg)
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+// Package lru provides the least-recently-used cache structure underlying
+// every caching level of TPSIM: the main-memory database buffer, the NVEM
+// second-level cache, and the disk-controller caches. It supports the
+// predicate-based victim search non-volatile disk caches need ("replace the
+// least recently accessed unmodified page", section 3.3).
+package lru
+
+// node is a doubly-linked-list element. index 0 is a sentinel.
+type node[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next int
+}
+
+// Cache is an LRU cache with O(1) Get/Put/Remove and ordered scans. The
+// zero value is not usable; call New.
+type Cache[K comparable, V any] struct {
+	capacity int
+	nodes    []node[K, V] // nodes[0] is the sentinel of the circular list
+	index    map[K]int
+	free     []int
+}
+
+// New creates an LRU cache holding at most capacity entries. capacity must
+// be positive.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: non-positive capacity")
+	}
+	c := &Cache[K, V]{
+		capacity: capacity,
+		nodes:    make([]node[K, V], 1, capacity+1),
+		index:    make(map[K]int, capacity),
+	}
+	c.nodes[0].prev = 0
+	c.nodes[0].next = 0
+	return c
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.index) }
+
+// Cap returns the capacity.
+func (c *Cache[K, V]) Cap() int { return c.capacity }
+
+func (c *Cache[K, V]) unlink(i int) {
+	n := &c.nodes[i]
+	c.nodes[n.prev].next = n.next
+	c.nodes[n.next].prev = n.prev
+}
+
+// pushFront links node i as most recently used.
+func (c *Cache[K, V]) pushFront(i int) {
+	head := &c.nodes[0]
+	n := &c.nodes[i]
+	n.prev = 0
+	n.next = head.next
+	c.nodes[head.next].prev = i
+	head.next = i
+}
+
+// Get returns the value for k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	i, ok := c.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.unlink(i)
+	c.pushFront(i)
+	return c.nodes[i].value, true
+}
+
+// Peek returns the value for k without affecting recency.
+func (c *Cache[K, V]) Peek(k K) (V, bool) {
+	i, ok := c.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return c.nodes[i].value, true
+}
+
+// Touch marks k most recently used if present.
+func (c *Cache[K, V]) Touch(k K) bool {
+	i, ok := c.index[k]
+	if !ok {
+		return false
+	}
+	c.unlink(i)
+	c.pushFront(i)
+	return true
+}
+
+// Update replaces the value for k (keeping its recency) if present.
+func (c *Cache[K, V]) Update(k K, v V) bool {
+	i, ok := c.index[k]
+	if !ok {
+		return false
+	}
+	c.nodes[i].value = v
+	return true
+}
+
+// Put inserts k as most recently used. If k is present its value is
+// replaced. If the cache is full, the least recently used entry is evicted
+// and returned with evicted=true.
+func (c *Cache[K, V]) Put(k K, v V) (evictedK K, evictedV V, evicted bool) {
+	if i, ok := c.index[k]; ok {
+		c.nodes[i].value = v
+		c.unlink(i)
+		c.pushFront(i)
+		return
+	}
+	if len(c.index) >= c.capacity {
+		tail := c.nodes[0].prev
+		evictedK = c.nodes[tail].key
+		evictedV = c.nodes[tail].value
+		evicted = true
+		c.removeIndex(tail)
+	}
+	var i int
+	if len(c.free) > 0 {
+		i = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		c.nodes = append(c.nodes, node[K, V]{})
+		i = len(c.nodes) - 1
+	}
+	c.nodes[i].key = k
+	c.nodes[i].value = v
+	c.index[k] = i
+	c.pushFront(i)
+	return
+}
+
+func (c *Cache[K, V]) removeIndex(i int) {
+	c.unlink(i)
+	delete(c.index, c.nodes[i].key)
+	var zeroK K
+	var zeroV V
+	c.nodes[i].key = zeroK
+	c.nodes[i].value = zeroV
+	c.free = append(c.free, i)
+}
+
+// Remove deletes k, returning its value.
+func (c *Cache[K, V]) Remove(k K) (V, bool) {
+	i, ok := c.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	v := c.nodes[i].value
+	c.removeIndex(i)
+	return v, true
+}
+
+// FindOldest scans from least to most recently used and returns the first
+// key whose entry satisfies pred. Used by non-volatile disk caches to find
+// the least recently used clean frame.
+func (c *Cache[K, V]) FindOldest(pred func(K, V) bool) (K, bool) {
+	for i := c.nodes[0].prev; i != 0; i = c.nodes[i].prev {
+		if pred(c.nodes[i].key, c.nodes[i].value) {
+			return c.nodes[i].key, true
+		}
+	}
+	var zero K
+	return zero, false
+}
+
+// Oldest returns the least recently used key.
+func (c *Cache[K, V]) Oldest() (K, bool) {
+	tail := c.nodes[0].prev
+	if tail == 0 {
+		var zero K
+		return zero, false
+	}
+	return c.nodes[tail].key, true
+}
+
+// Each calls fn for every entry from most to least recently used, stopping
+// if fn returns false.
+func (c *Cache[K, V]) Each(fn func(K, V) bool) {
+	for i := c.nodes[0].next; i != 0; i = c.nodes[i].next {
+		if !fn(c.nodes[i].key, c.nodes[i].value) {
+			return
+		}
+	}
+}

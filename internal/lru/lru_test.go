@@ -1,0 +1,269 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("get 1 = %q %v", v, ok)
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len/cap = %d/%d", c.Len(), c.Cap())
+	}
+}
+
+func TestEvictsLRU(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	ek, ev, evicted := c.Put(3, "c")
+	if !evicted || ek != 1 || ev != "a" {
+		t.Fatalf("evicted %v %q %v, want 1 a true", ek, ev, evicted)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Get(1) // 2 is now LRU
+	ek, _, evicted := c.Put(3, "c")
+	if !evicted || ek != 2 {
+		t.Fatalf("evicted %v, want 2", ek)
+	}
+}
+
+func TestPeekDoesNotRefresh(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Peek(1) // recency unchanged: 1 is still LRU
+	ek, _, _ := c.Put(3, "c")
+	if ek != 1 {
+		t.Fatalf("evicted %v, want 1", ek)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if !c.Touch(1) {
+		t.Fatal("touch existing failed")
+	}
+	if c.Touch(9) {
+		t.Fatal("touch missing succeeded")
+	}
+	ek, _, _ := c.Put(3, "c")
+	if ek != 2 {
+		t.Fatalf("evicted %v, want 2 after touch", ek)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	if !c.Update(1, "a2") {
+		t.Fatal("update failed")
+	}
+	if v, _ := c.Peek(1); v != "a2" {
+		t.Fatalf("value = %q", v)
+	}
+	if c.Update(9, "x") {
+		t.Fatal("update of missing key succeeded")
+	}
+}
+
+func TestPutExistingReplaces(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	_, _, evicted := c.Put(1, "a2")
+	if evicted {
+		t.Fatal("replacing must not evict")
+	}
+	if v, _ := c.Get(1); v != "a2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	if v, ok := c.Remove(1); !ok || v != "a" {
+		t.Fatalf("remove = %q %v", v, ok)
+	}
+	if _, ok := c.Remove(1); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Slot reuse after remove.
+	c.Put(2, "b")
+	c.Put(3, "c")
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after reuse", c.Len())
+	}
+}
+
+func TestFindOldest(t *testing.T) {
+	c := New[int, bool](4)
+	c.Put(1, true)  // dirty
+	c.Put(2, false) // clean
+	c.Put(3, true)
+	c.Put(4, false)
+	// Oldest clean entry is 2.
+	k, ok := c.FindOldest(func(_ int, dirty bool) bool { return !dirty })
+	if !ok || k != 2 {
+		t.Fatalf("oldest clean = %v %v, want 2", k, ok)
+	}
+	// Oldest overall is 1.
+	if k, ok := c.Oldest(); !ok || k != 1 {
+		t.Fatalf("oldest = %v", k)
+	}
+	// No entry matching.
+	if _, ok := c.FindOldest(func(int, bool) bool { return false }); ok {
+		t.Fatal("found nonexistent entry")
+	}
+}
+
+func TestOldestEmpty(t *testing.T) {
+	c := New[int, int](1)
+	if _, ok := c.Oldest(); ok {
+		t.Fatal("oldest on empty cache")
+	}
+}
+
+func TestEachOrder(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 0)
+	c.Put(2, 0)
+	c.Put(3, 0)
+	c.Get(1) // order MRU→LRU: 1, 3, 2
+	var got []int
+	c.Each(func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	var first []int
+	c.Each(func(k, _ int) bool { first = append(first, k); return false })
+	if len(first) != 1 {
+		t.Fatalf("early stop visited %d", len(first))
+	}
+}
+
+func TestCapacityOnePanicsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New[int, int](1)
+	c.Put(1, 10)
+	ek, _, evicted := c.Put(2, 20)
+	if !evicted || ek != 1 {
+		t.Fatalf("evicted = %v %v", ek, evicted)
+	}
+	if v, ok := c.Get(2); !ok || v != 20 {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+}
+
+// Property: the cache behaves identically to a naive reference
+// implementation under random Put/Get/Remove sequences.
+func TestMatchesReferenceModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		c := New[uint8, int](4)
+		// Reference: slice ordered MRU first.
+		type entry struct {
+			k uint8
+			v int
+		}
+		var ref []entry
+		find := func(k uint8) int {
+			for i := range ref {
+				if ref[i].k == k {
+					return i
+				}
+			}
+			return -1
+		}
+		val := 0
+		for _, o := range ops {
+			k := o.Key % 8
+			switch o.Kind % 3 {
+			case 0: // Put
+				val++
+				if i := find(k); i >= 0 {
+					ref = append(ref[:i], ref[i+1:]...)
+				} else if len(ref) == 4 {
+					ref = ref[:3]
+				}
+				ref = append([]entry{{k, val}}, ref...)
+				c.Put(k, val)
+			case 1: // Get
+				gotV, gotOK := c.Get(k)
+				i := find(k)
+				if (i >= 0) != gotOK {
+					return false
+				}
+				if i >= 0 {
+					if gotV != ref[i].v {
+						return false
+					}
+					e := ref[i]
+					ref = append(ref[:i], ref[i+1:]...)
+					ref = append([]entry{e}, ref...)
+				}
+			case 2: // Remove
+				_, gotOK := c.Remove(k)
+				i := find(k)
+				if (i >= 0) != gotOK {
+					return false
+				}
+				if i >= 0 {
+					ref = append(ref[:i], ref[i+1:]...)
+				}
+			}
+			if c.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final order check.
+		var order []uint8
+		c.Each(func(k uint8, _ int) bool { order = append(order, k); return true })
+		if len(order) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if order[i] != ref[i].k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

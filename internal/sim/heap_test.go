@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdersByTime(t *testing.T) {
+	var h eventHeap
+	times := []Time{5, 1, 3, 2, 4, 0, 9, 7, 8, 6}
+	for i, at := range times {
+		h.Push(event{at: at, seq: uint64(i)})
+	}
+	prev := Time(-1)
+	for h.Len() > 0 {
+		e := h.Pop()
+		if e.at < prev {
+			t.Fatalf("heap returned %v after %v", e.at, prev)
+		}
+		prev = e.at
+	}
+}
+
+func TestHeapTieBreaksBySeq(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 20; i++ {
+		h.Push(event{at: 1.0, seq: uint64(i)})
+	}
+	for i := 0; i < 20; i++ {
+		e := h.Pop()
+		if e.seq != uint64(i) {
+			t.Fatalf("pop %d: got seq %d", i, e.seq)
+		}
+	}
+}
+
+func TestHeapPeekMatchesPop(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		h.Push(event{at: rng.Float64() * 100, seq: uint64(i)})
+	}
+	for h.Len() > 0 {
+		want := h.Peek()
+		got := h.Pop()
+		if want.at != got.at || want.seq != got.seq {
+			t.Fatalf("peek (%v,%d) != pop (%v,%d)", want.at, want.seq, got.at, got.seq)
+		}
+	}
+}
+
+// Property: for any input multiset of timestamps, popping yields them in
+// non-decreasing time order and equal times in insertion order.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h eventHeap
+		for i, v := range raw {
+			// Coarse timestamps force plenty of ties.
+			h.Push(event{at: Time(v % 16), seq: uint64(i)})
+		}
+		type key struct {
+			at  Time
+			seq uint64
+		}
+		var got []key
+		for h.Len() > 0 {
+			e := h.Pop()
+			got = append(got, key{e.at, e.seq})
+		}
+		if len(got) != len(raw) {
+			return false
+		}
+		sorted := sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].at != got[j].at {
+				return got[i].at < got[j].at
+			}
+			return got[i].seq < got[j].seq
+		})
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(42))
+	var seq uint64
+	now := Time(0)
+	for round := 0; round < 1000; round++ {
+		if h.Len() == 0 || rng.Intn(2) == 0 {
+			seq++
+			h.Push(event{at: now + rng.Float64()*10, seq: seq})
+		} else {
+			e := h.Pop()
+			if e.at < now {
+				t.Fatalf("time went backwards: %v < %v", e.at, now)
+			}
+			now = e.at
+		}
+	}
+}

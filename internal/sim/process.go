@@ -1,0 +1,143 @@
+package sim
+
+import "fmt"
+
+// procState tracks where a process is in its lifecycle.
+type procState uint8
+
+const (
+	stateScheduled procState = iota // a resumption event is on the heap
+	stateRunning                    // currently executing
+	statePassive                    // suspended, waiting for Activate
+	stateDone                       // body returned or process was killed
+)
+
+// errKilled is the panic value used to unwind a process during Shutdown.
+type errKilledType struct{}
+
+var errKilled = errKilledType{}
+
+// Process is a simulation coroutine. Its body runs in its own goroutine, but
+// the kernel guarantees that at most one process executes at a time and only
+// while the kernel is suspended, so process bodies may freely access shared
+// simulation state without locking.
+type Process struct {
+	sim  *Sim
+	id   int
+	name string
+
+	// resume carries kernel→process hand-offs: true resumes execution,
+	// false unwinds the process (Shutdown).
+	resume chan bool
+	state  procState
+}
+
+// Spawn creates a process and schedules its first activation after delay.
+// The name is used in diagnostics only.
+func (s *Sim) Spawn(name string, delay Time, body func(p *Process)) *Process {
+	s.nextPID++
+	p := &Process{
+		sim:    s,
+		id:     s.nextPID,
+		name:   name,
+		resume: make(chan bool),
+		state:  stateScheduled,
+	}
+	s.live[p] = struct{}{}
+	go p.run(body)
+	s.Schedule(delay, func() { s.transfer(p) })
+	return p
+}
+
+// run is the goroutine wrapper around the process body. It waits for the
+// first activation, executes the body, and always hands control back to the
+// kernel exactly once at the end, even on panic.
+func (p *Process) run(body func(p *Process)) {
+	defer func() {
+		r := recover()
+		p.state = stateDone
+		delete(p.sim.live, p)
+		if r != nil {
+			if _, killed := r.(errKilledType); !killed {
+				p.sim.fatal = fmt.Sprintf("process %q (#%d): %v", p.name, p.id, r)
+			}
+		}
+		p.sim.cur = nil
+		p.sim.park <- struct{}{}
+	}()
+	if !<-p.resume {
+		panic(errKilled)
+	}
+	body(p)
+}
+
+// transfer hands control from the kernel to p until p yields or finishes.
+// It runs in kernel context.
+func (s *Sim) transfer(p *Process) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateRunning
+	s.cur = p
+	p.resume <- true
+	<-s.park
+}
+
+// yield returns control to the kernel. The process blocks until resumed
+// (or unwinds if the simulation is shutting down).
+func (p *Process) yield() {
+	p.sim.cur = nil
+	p.sim.park <- struct{}{}
+	if !<-p.resume {
+		panic(errKilled)
+	}
+	p.sim.cur = p
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// ID returns the process's unique id (1-based, in spawn order).
+func (p *Process) ID() int { return p.id }
+
+// Sim returns the simulation the process belongs to.
+func (p *Process) Sim() *Sim { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.sim.now }
+
+// Hold suspends the process for dt simulated time units.
+func (p *Process) Hold(dt Time) {
+	p.mustBeCurrent("Hold")
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative hold %v", dt))
+	}
+	p.state = stateScheduled
+	p.sim.Schedule(dt, func() { p.sim.transfer(p) })
+	p.yield()
+}
+
+// Passivate suspends the process indefinitely; some other entity must call
+// Activate to resume it. This is the building block for queues and locks.
+func (p *Process) Passivate() {
+	p.mustBeCurrent("Passivate")
+	p.state = statePassive
+	p.yield()
+}
+
+// Activate schedules a passivated process to resume after delay. It panics
+// if the process is not passive (running, already scheduled, or done):
+// double activation would corrupt queue disciplines built on Passivate.
+func (s *Sim) Activate(p *Process, delay Time) {
+	if p.state != statePassive {
+		panic(fmt.Sprintf("sim: Activate on process %q (#%d) in state %d", p.name, p.id, p.state))
+	}
+	p.state = stateScheduled
+	s.Schedule(delay, func() { s.transfer(p) })
+}
+
+func (p *Process) mustBeCurrent(op string) {
+	if p.sim.cur != p {
+		panic(fmt.Sprintf("sim: %s called on process %q (#%d) from outside its own body", op, p.name, p.id))
+	}
+}

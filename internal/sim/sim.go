@@ -1,0 +1,122 @@
+// Package sim provides a deterministic process-oriented discrete-event
+// simulation kernel. It replaces the DeNet simulation language the paper's
+// TPSIM system was written in.
+//
+// The kernel executes events from a time-ordered heap. A Process is a
+// coroutine (backed by a goroutine with strict hand-off): exactly one of the
+// kernel or a single process runs at any instant, so simulations are fully
+// deterministic — equal-time events fire in scheduling order, and all
+// randomness comes from explicitly seeded generators outside this package.
+package sim
+
+import "fmt"
+
+// Time is simulated time. TPSIM models express it in milliseconds.
+type Time = float64
+
+// Sim is a discrete-event simulation instance. It is not safe for concurrent
+// use; all interaction must happen from the goroutine that calls Run or from
+// within process bodies (which the kernel serializes).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// park is the strict hand-off channel: a running process sends on it to
+	// return control to the kernel.
+	park chan struct{}
+	cur  *Process
+	live map[*Process]struct{}
+
+	// fatal records a panic raised inside a process body so the kernel can
+	// re-raise it with context instead of deadlocking.
+	fatal any
+
+	nextPID int
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{
+		park: make(chan struct{}),
+		live: make(map[*Process]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending reports the number of scheduled events (including process
+// resumptions).
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// Schedule runs fn in kernel context at now+delay. delay must be
+// non-negative. fn must not block; to model activity that takes simulated
+// time, spawn a Process instead.
+func (s *Sim) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.seq++
+	s.events.Push(event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run executes events until the event heap is empty or the next event would
+// fire after the until timestamp. It returns the simulated time at which it
+// stopped. Events exactly at until still fire.
+func (s *Sim) Run(until Time) Time {
+	for s.events.Len() > 0 {
+		if s.events.Peek().at > until {
+			s.now = until
+			return s.now
+		}
+		ev := s.events.Pop()
+		s.now = ev.at
+		ev.fn()
+		if s.fatal != nil {
+			panic(fmt.Sprintf("sim: process panic at t=%v: %v", s.now, s.fatal))
+		}
+	}
+	return s.now
+}
+
+// RunAll executes events until none remain.
+func (s *Sim) RunAll() Time {
+	for s.events.Len() > 0 {
+		ev := s.events.Pop()
+		s.now = ev.at
+		ev.fn()
+		if s.fatal != nil {
+			panic(fmt.Sprintf("sim: process panic at t=%v: %v", s.now, s.fatal))
+		}
+	}
+	return s.now
+}
+
+// LiveProcesses reports how many spawned processes have not yet finished.
+func (s *Sim) LiveProcesses() int { return len(s.live) }
+
+// Shutdown terminates every live process (unwinding their stacks so deferred
+// cleanup runs) and drops all pending events. After Shutdown the simulation
+// can be inspected but no longer advanced. It must be called from kernel
+// context (not from within a process body).
+func (s *Sim) Shutdown() {
+	if s.cur != nil {
+		panic("sim: Shutdown called from within a process")
+	}
+	victims := make([]*Process, 0, len(s.live))
+	for p := range s.live {
+		victims = append(victims, p)
+	}
+	for _, p := range victims {
+		if p.state == stateDone {
+			continue
+		}
+		p.resume <- false
+		<-s.park
+	}
+	s.events.items = nil
+	if s.fatal != nil {
+		panic(fmt.Sprintf("sim: process panic during shutdown: %v", s.fatal))
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.RunAll()
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(5, func() { fired++ })
+	s.Schedule(10, func() { fired++ })
+	s.Run(5)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (events at t<=5)", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now = %v, want 5", s.Now())
+	}
+	s.Run(100)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestProcessHold(t *testing.T) {
+	s := New()
+	var marks []Time
+	s.Spawn("holder", 0, func(p *Process) {
+		marks = append(marks, p.Now())
+		p.Hold(10)
+		marks = append(marks, p.Now())
+		p.Hold(5)
+		marks = append(marks, p.Now())
+	})
+	s.RunAll()
+	want := []Time{0, 10, 15}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+	if s.LiveProcesses() != 0 {
+		t.Fatalf("live processes = %d", s.LiveProcesses())
+	}
+}
+
+func TestSpawnDelay(t *testing.T) {
+	s := New()
+	var started Time = -1
+	s.Spawn("late", 7, func(p *Process) { started = p.Now() })
+	s.RunAll()
+	if started != 7 {
+		t.Fatalf("started = %v, want 7", started)
+	}
+}
+
+func TestPassivateActivate(t *testing.T) {
+	s := New()
+	var woke Time = -1
+	var sleeper *Process
+	sleeper = s.Spawn("sleeper", 0, func(p *Process) {
+		p.Passivate()
+		woke = p.Now()
+	})
+	s.Spawn("waker", 5, func(p *Process) {
+		s.Activate(sleeper, 2)
+	})
+	s.RunAll()
+	if woke != 7 {
+		t.Fatalf("woke = %v, want 7", woke)
+	}
+}
+
+func TestActivateNonPassivePanics(t *testing.T) {
+	s := New()
+	p := s.Spawn("idle", 0, func(p *Process) { p.Hold(100) })
+	s.Run(50) // p is now holding (scheduled), not passive
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic activating a scheduled process")
+		}
+	}()
+	s.Activate(p, 0)
+}
+
+func TestEqualTimeProcessesRunInSpawnOrder(t *testing.T) {
+	s := New()
+	var order []string
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		s.Spawn(name, 1, func(p *Process) { order = append(order, name) })
+	}
+	s.RunAll()
+	if got := strings.Join(order, ""); got != "abcd" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestShutdownUnwindsProcesses(t *testing.T) {
+	s := New()
+	cleaned := 0
+	for i := 0; i < 5; i++ {
+		s.Spawn("p", 0, func(p *Process) {
+			defer func() { cleaned++ }()
+			p.Passivate() // never activated
+		})
+	}
+	s.Run(10)
+	if s.LiveProcesses() != 5 {
+		t.Fatalf("live = %d, want 5", s.LiveProcesses())
+	}
+	s.Shutdown()
+	if cleaned != 5 {
+		t.Fatalf("cleaned = %d, want 5 (defers must run)", cleaned)
+	}
+	if s.LiveProcesses() != 0 {
+		t.Fatalf("live = %d after shutdown", s.LiveProcesses())
+	}
+}
+
+func TestShutdownWithNeverStartedProcess(t *testing.T) {
+	s := New()
+	s.Spawn("never", 1000, func(p *Process) { t.Error("body must not run") })
+	s.Run(1) // before first activation
+	s.Shutdown()
+	if s.LiveProcesses() != 0 {
+		t.Fatalf("live = %d", s.LiveProcesses())
+	}
+}
+
+func TestProcessPanicSurfacesInRun(t *testing.T) {
+	s := New()
+	s.Spawn("bomb", 1, func(p *Process) { panic("boom") })
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("recover = %v, want panic containing boom", r)
+		}
+	}()
+	s.RunAll()
+}
+
+func TestHoldOutsideBodyPanics(t *testing.T) {
+	s := New()
+	var captured *Process
+	s.Spawn("p", 0, func(p *Process) { captured = p; p.Hold(5) })
+	s.Run(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic calling Hold from kernel context")
+		}
+	}()
+	captured.Hold(1)
+}
+
+// Determinism: two identical simulations visit events in exactly the same
+// order and produce the same trace.
+func TestDeterminism(t *testing.T) {
+	build := func() string {
+		var log []string
+		s := New()
+		for i := 0; i < 10; i++ {
+			i := i
+			s.Spawn(fmt.Sprintf("w%d", i), Time(i%3), func(p *Process) {
+				for j := 0; j < 4; j++ {
+					p.Hold(Time((i*7+j*3)%5) + 0.5)
+					log = append(log, fmt.Sprintf("%s@%.1f", p.Name(), p.Now()))
+				}
+			})
+		}
+		s.RunAll()
+		return strings.Join(log, ",")
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestProcessIdentity(t *testing.T) {
+	s := New()
+	p := s.Spawn("named", 0, func(p *Process) {})
+	if p.Name() != "named" || p.ID() != 1 || p.Sim() != s {
+		t.Fatalf("identity wrong: %q %d", p.Name(), p.ID())
+	}
+	q := s.Spawn("second", 0, func(p *Process) {})
+	if q.ID() != 2 {
+		t.Fatalf("second id = %d", q.ID())
+	}
+	s.RunAll()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	s := New()
+	var childTime Time = -1
+	s.Spawn("parent", 0, func(p *Process) {
+		p.Hold(3)
+		s.Spawn("child", 2, func(c *Process) { childTime = c.Now() })
+		p.Hold(10)
+	})
+	s.RunAll()
+	if childTime != 5 {
+		t.Fatalf("child ran at %v, want 5", childTime)
+	}
+}

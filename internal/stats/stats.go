@@ -1,0 +1,183 @@
+// Package stats provides the measurement substrate for TPSIM: streaming
+// summaries (Welford), counters and ratios, percentile tracking, and
+// tabular series formatting used by the experiment harness to print
+// paper-style rows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with O(1) memory using
+// Welford's algorithm, optionally keeping the raw values for percentiles.
+type Summary struct {
+	name string
+
+	n         int64
+	mean      float64
+	m2        float64
+	min, max  float64
+	keep      bool
+	values    []float64
+	sumDirect float64
+}
+
+// NewSummary creates a summary. If keepValues is true, raw observations are
+// retained so Percentile can be computed.
+func NewSummary(name string, keepValues bool) *Summary {
+	return &Summary{name: name, keep: keepValues, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Name returns the summary's label.
+func (s *Summary) Name() string { return s.name }
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	s.sumDirect += x
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if s.keep {
+		s.values = append(s.values, x)
+	}
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sumDirect }
+
+// Var returns the sample variance (0 when fewer than two observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// using the normal approximation (adequate for the thousands of
+// transactions a simulation run observes).
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of retained values. It
+// panics if the summary was created without keepValues.
+func (s *Summary) Percentile(p float64) float64 {
+	if !s.keep {
+		panic("stats: Percentile on summary without kept values")
+	}
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.values))
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats the summary for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.name, s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Ratio tracks hits over trials, the metric behind every hit-ratio table in
+// the paper.
+type Ratio struct {
+	Hits   int64
+	Trials int64
+}
+
+// Observe records one trial.
+func (r *Ratio) Observe(hit bool) {
+	r.Trials++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/trials (0 when no trials).
+func (r *Ratio) Value() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Trials)
+}
+
+// Percent returns the ratio as a percentage.
+func (r *Ratio) Percent() float64 { return 100 * r.Value() }
+
+// Counter is a named monotone event counter.
+type Counter struct {
+	Name  string
+	Count int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Count++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.Count += n }
+
+// Rate returns count per unit of elapsed time.
+func (c *Counter) Rate(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Count) / elapsed
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled curve of an experiment figure: y-values over a
+// shared x-axis (e.g. response time over arrival rate).
+type Series struct {
+	Label  string
+	Points []float64
+}
+
+// Figure collects several series over one x-axis and renders them as the
+// aligned text table the experiment harness prints for each paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// AddSeries appends a curve. The number of points must match the x-axis.
+func (f *Figure) AddSeries(label string, points []float64) error {
+	if len(points) != len(f.X) {
+		return fmt.Errorf("stats: series %q has %d points, axis has %d", label, len(points), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Label: label, Points: points})
+	return nil
+}
+
+// Render produces an aligned text table: one row per x value, one column per
+// series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", f.YLabel)
+	}
+
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, len(f.X))
+	for r := range f.X {
+		row := make([]string, len(headers))
+		row[0] = trimNum(f.X[r])
+		for c, s := range f.Series {
+			row[c+1] = fmt.Sprintf("%.2f", s.Points[r])
+		}
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+		rows[r] = row
+	}
+
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// trimNum formats an x-axis value without trailing zeros.
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// Table is a labelled grid (e.g. the hit-ratio tables 4.2a/b): row labels ×
+// column labels with float cells.
+type Table struct {
+	Title   string
+	Corner  string
+	Columns []string
+	RowLbls []string
+	Cells   [][]float64
+}
+
+// NewTable allocates a table of the given shape with zeroed cells.
+func NewTable(title, corner string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Corner: corner, Columns: cols, RowLbls: rows, Cells: cells}
+}
+
+// Set writes one cell.
+func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	headers := append([]string{t.Corner}, t.Columns...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	body := make([][]string, len(t.RowLbls))
+	for r, lbl := range t.RowLbls {
+		row := make([]string, len(headers))
+		row[0] = lbl
+		for c := range t.Columns {
+			row[c+1] = fmt.Sprintf("%.1f", t.Cells[r][c])
+		}
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+		body[r] = row
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range body {
+		writeRow(row)
+	}
+	return b.String()
+}

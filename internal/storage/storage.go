@@ -1,0 +1,357 @@
+// Package storage implements TPSIM's external device models (section 3.3):
+// disk-units — regular disks, disks with volatile or non-volatile caches,
+// and solid-state disks — plus the non-volatile extended memory (NVEM)
+// store. Disk-units consist of one or more controllers (with an average page
+// service time), a page transmission delay, and one or more disk servers;
+// caching inside the controller follows the IBM 3990 management described in
+// the paper.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/lru"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// PageKey identifies a database page globally: partition index and page
+// number within the partition. The log is modelled as its own partition.
+type PageKey struct {
+	Partition int
+	Page      int64
+}
+
+// DiskUnitType selects the disk-unit variant (parameter DiskUnitType of
+// Table 3.4).
+type DiskUnitType uint8
+
+// Disk-unit variants.
+const (
+	Regular       DiskUnitType = iota // plain magnetic disks
+	VolatileCache                     // disk cache; write I/Os always hit the disk
+	NVCache                           // non-volatile disk cache; writes satisfied in cache
+	SSD                               // entire data in non-volatile semiconductor memory
+)
+
+func (t DiskUnitType) String() string {
+	switch t {
+	case Regular:
+		return "regular"
+	case VolatileCache:
+		return "volatile-cache"
+	case NVCache:
+		return "nv-cache"
+	case SSD:
+		return "ssd"
+	default:
+		return fmt.Sprintf("DiskUnitType(%d)", uint8(t))
+	}
+}
+
+// DiskUnitConfig are the per-disk-unit parameters of Table 3.4.
+type DiskUnitConfig struct {
+	Name           string
+	Type           DiskUnitType
+	NumControllers int     // disk controllers
+	ContrDelay     float64 // average controller service time per page (ms)
+	TransDelay     float64 // transmission time per page (ms), fixed
+	NumDisks       int     // disk servers (partition striped uniformly)
+	DiskDelay      float64 // average disk access time per page (ms)
+	CacheSize      int     // disk-cache / write-buffer frames (cache types)
+
+	// WriteBufferOnly configures a non-volatile cache used solely for
+	// logging: no LRU read caching, the cache acts purely as a write buffer
+	// (section 3.3, log allocation).
+	WriteBufferOnly bool
+}
+
+// Validate checks the configuration.
+func (c *DiskUnitConfig) Validate() error {
+	if c.NumControllers <= 0 {
+		return fmt.Errorf("storage: %s: NumControllers = %d", c.Name, c.NumControllers)
+	}
+	if c.ContrDelay < 0 || c.TransDelay < 0 {
+		return fmt.Errorf("storage: %s: negative controller/transmission delay", c.Name)
+	}
+	switch c.Type {
+	case Regular, VolatileCache, NVCache:
+		if c.NumDisks <= 0 {
+			return fmt.Errorf("storage: %s: NumDisks = %d", c.Name, c.NumDisks)
+		}
+		if c.DiskDelay <= 0 {
+			return fmt.Errorf("storage: %s: DiskDelay = %v", c.Name, c.DiskDelay)
+		}
+	case SSD:
+		// SSDs keep all data in semiconductor store; no disk servers needed.
+	default:
+		return fmt.Errorf("storage: %s: unknown type %d", c.Name, c.Type)
+	}
+	if (c.Type == VolatileCache || c.Type == NVCache) && c.CacheSize <= 0 {
+		return fmt.Errorf("storage: %s: cache type needs CacheSize > 0", c.Name)
+	}
+	if c.WriteBufferOnly && c.Type != NVCache {
+		return fmt.Errorf("storage: %s: WriteBufferOnly requires a non-volatile cache", c.Name)
+	}
+	return nil
+}
+
+// DiskUnitStats are the per-unit counters the simulation reports.
+type DiskUnitStats struct {
+	Reads          int64 // read I/Os issued to the unit
+	Writes         int64 // write I/Os issued to the unit
+	ReadHits       int64 // reads satisfied in the disk cache
+	WriteHits      int64 // writes finding the page in the cache
+	CacheWrites    int64 // writes satisfied at cache speed (nv caches)
+	SyncDiskWrites int64 // writes forced to disk speed (all frames dirty)
+	Destages       int64 // asynchronous cache→disk updates started
+	DiskAccesses   int64 // physical disk server accesses (any reason)
+}
+
+// cacheFrame is a disk-cache entry: dirty means its disk copy is not yet
+// current (destage in flight).
+type cacheFrame struct {
+	dirty bool
+}
+
+// DiskUnit models one disk-unit: a set of controllers and disk servers with
+// an optional controller cache.
+type DiskUnit struct {
+	cfg         DiskUnitConfig
+	sim         *sim.Sim
+	rnd         *rng.Stream
+	controllers *sim.Resource
+	disks       *sim.Resource // nil for SSD
+	cache       *lru.Cache[PageKey, cacheFrame]
+	stats       DiskUnitStats
+}
+
+// NewDiskUnit builds a disk-unit inside s.
+func NewDiskUnit(s *sim.Sim, cfg DiskUnitConfig, rnd *rng.Stream) (*DiskUnit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &DiskUnit{
+		cfg:         cfg,
+		sim:         s,
+		rnd:         rnd,
+		controllers: s.NewResource(cfg.Name+"/ctrl", cfg.NumControllers),
+	}
+	if cfg.Type != SSD {
+		u.disks = s.NewResource(cfg.Name+"/disk", cfg.NumDisks)
+	}
+	if cfg.Type == VolatileCache || cfg.Type == NVCache {
+		u.cache = lru.New[PageKey, cacheFrame](cfg.CacheSize)
+	}
+	return u, nil
+}
+
+// Config returns the unit's configuration.
+func (u *DiskUnit) Config() DiskUnitConfig { return u.cfg }
+
+// Stats returns a copy of the unit's counters.
+func (u *DiskUnit) Stats() DiskUnitStats { return u.stats }
+
+// ControllerUtilization returns the controllers' mean utilization.
+func (u *DiskUnit) ControllerUtilization() float64 { return u.controllers.Utilization() }
+
+// DiskUtilization returns the disk servers' mean utilization (0 for SSDs).
+func (u *DiskUnit) DiskUtilization() float64 {
+	if u.disks == nil {
+		return 0
+	}
+	return u.disks.Utilization()
+}
+
+// controllerPass models the channel-oriented interface: controller service
+// plus the page transmission.
+func (u *DiskUnit) controllerPass(p *sim.Process) {
+	u.controllers.Use(p, u.rnd.Exp(u.cfg.ContrDelay))
+	if u.cfg.TransDelay > 0 {
+		p.Hold(u.cfg.TransDelay)
+	}
+}
+
+// diskAccess models one physical disk server access.
+func (u *DiskUnit) diskAccess(p *sim.Process) {
+	u.stats.DiskAccesses++
+	u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay))
+}
+
+// Read performs a read I/O for key, blocking p for the device delay. For
+// cache units a read hit avoids the disk access; after a read miss the page
+// is stored in the cache (possibly evicting; non-volatile caches only evict
+// clean frames for read allocation, skipping allocation when all frames are
+// dirty).
+func (u *DiskUnit) Read(p *sim.Process, key PageKey) {
+	u.stats.Reads++
+	switch u.cfg.Type {
+	case SSD:
+		u.controllerPass(p)
+	case Regular:
+		u.controllerPass(p)
+		u.diskAccess(p)
+	case VolatileCache, NVCache:
+		if !u.cfg.WriteBufferOnly {
+			if _, hit := u.cache.Get(key); hit {
+				u.stats.ReadHits++
+				u.controllerPass(p)
+				return
+			}
+		}
+		u.controllerPass(p)
+		u.diskAccess(p)
+		if !u.cfg.WriteBufferOnly {
+			u.insertClean(key)
+		}
+	}
+}
+
+// insertClean stores a just-read page in the cache. Volatile caches may
+// evict anything (all frames are clean); non-volatile caches must keep dirty
+// frames until their destage completes, so allocation is skipped when no
+// clean victim exists.
+func (u *DiskUnit) insertClean(key PageKey) {
+	if u.cfg.Type == NVCache {
+		if u.cache.Len() >= u.cache.Cap() {
+			victim, ok := u.cache.FindOldest(func(_ PageKey, f cacheFrame) bool { return !f.dirty })
+			if !ok {
+				return // all dirty: cannot allocate
+			}
+			u.cache.Remove(victim)
+		}
+	}
+	u.cache.Put(key, cacheFrame{dirty: false})
+}
+
+// Write performs a write I/O for key, blocking p until the unit signals
+// completion:
+//
+//   - Regular: controller + disk access.
+//   - SSD: controller only (data lives in semiconductor memory).
+//   - Volatile cache: every write results in a disk access (write-through).
+//     A write hit refreshes the cached copy; a write miss leaves the cache
+//     unaffected (IBM-style management, section 3.3).
+//   - Non-volatile cache: the write is satisfied in the cache and the disk
+//     copy updated asynchronously. On a write miss the least recently used
+//     clean frame is replaced; if every frame is dirty the write goes
+//     synchronously to disk.
+func (u *DiskUnit) Write(p *sim.Process, key PageKey) {
+	u.stats.Writes++
+	switch u.cfg.Type {
+	case SSD:
+		u.controllerPass(p)
+	case Regular:
+		u.controllerPass(p)
+		u.diskAccess(p)
+	case VolatileCache:
+		u.controllerPass(p)
+		if _, hit := u.cache.Peek(key); hit {
+			u.stats.WriteHits++
+			u.cache.Put(key, cacheFrame{dirty: false}) // refresh copy + LRU
+		}
+		u.diskAccess(p)
+	case NVCache:
+		u.writeNV(p, key)
+	}
+}
+
+// writeNV implements the non-volatile cache write path.
+func (u *DiskUnit) writeNV(p *sim.Process, key PageKey) {
+	if _, hit := u.cache.Peek(key); hit {
+		// Write hit: always satisfiable — no replacement needed.
+		u.stats.WriteHits++
+		u.controllerPass(p)
+		u.cache.Put(key, cacheFrame{dirty: true})
+		u.startDestage(key)
+		return
+	}
+	// Write miss: need a frame; replace the LRU clean page.
+	if u.cache.Len() >= u.cache.Cap() {
+		victim, ok := u.cache.FindOldest(func(_ PageKey, f cacheFrame) bool { return !f.dirty })
+		if !ok {
+			// All cached pages have destages in flight: go directly to disk.
+			u.stats.SyncDiskWrites++
+			u.controllerPass(p)
+			u.diskAccess(p)
+			return
+		}
+		u.cache.Remove(victim)
+	}
+	u.controllerPass(p)
+	u.cache.Put(key, cacheFrame{dirty: true})
+	u.startDestage(key)
+}
+
+// startDestage immediately starts the asynchronous disk update for a
+// modified page stored in the non-volatile cache ("we immediately start the
+// disk update when a modified page is stored in the disk cache").
+func (u *DiskUnit) startDestage(key PageKey) {
+	u.stats.CacheWrites++
+	u.stats.Destages++
+	u.sim.Spawn(u.cfg.Name+"/destage", 0, func(p *sim.Process) {
+		u.diskAccess(p)
+		// The frame becomes clean once the disk copy is current (it may
+		// have been evicted... only clean frames are evictable, and this
+		// frame was dirty, so it is still cached unless rewritten).
+		if f, ok := u.cache.Peek(key); ok && f.dirty {
+			u.cache.Update(key, cacheFrame{dirty: false})
+		}
+	})
+}
+
+// CacheLen returns the number of cached frames (0 for cacheless units).
+func (u *DiskUnit) CacheLen() int {
+	if u.cache == nil {
+		return 0
+	}
+	return u.cache.Len()
+}
+
+// DirtyFrames counts frames with destages in flight.
+func (u *DiskUnit) DirtyFrames() int {
+	if u.cache == nil {
+		return 0
+	}
+	n := 0
+	u.cache.Each(func(_ PageKey, f cacheFrame) bool {
+		if f.dirty {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// NVEM models the non-volatile extended memory store: page transfers between
+// main memory and NVEM take a fixed delay at one of NumServers ports, and
+// are synchronous — the caller's CPU stays busy, which the engine models by
+// keeping the CPU resource held while calling Access.
+type NVEM struct {
+	res   *sim.Resource
+	delay float64
+	count int64
+}
+
+// NewNVEM builds the NVEM store.
+func NewNVEM(s *sim.Sim, servers int, delay float64) (*NVEM, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("storage: NVEM servers = %d", servers)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("storage: NVEM delay = %v", delay)
+	}
+	return &NVEM{res: s.NewResource("nvem", servers), delay: delay}, nil
+}
+
+// Access performs one page transfer (read or write — symmetric).
+func (n *NVEM) Access(p *sim.Process) {
+	n.count++
+	n.res.Use(p, n.delay)
+}
+
+// Accesses returns the number of page transfers so far.
+func (n *NVEM) Accesses() int64 { return n.count }
+
+// Utilization returns the NVEM ports' mean utilization.
+func (n *NVEM) Utilization() float64 { return n.res.Utilization() }

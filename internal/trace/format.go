@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk trace format is line-oriented text:
+//
+//	TPSIM-TRACE 1
+//	FILES <n>
+//	FILE <id> <pages>           (n lines)
+//	TYPES <k>                   (optional; followed by k TYPE lines)
+//	TYPE <id> <name>
+//	TX <type> <nrefs>
+//	R <file> <page>             (or W <file> <page>), nrefs lines
+//	END
+//
+// It is easy to produce from any real DBMS trace and diffs cleanly.
+
+const formatHeader = "TPSIM-TRACE 1"
+
+// Write serializes the trace.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "FILES %d\n", len(tr.FilePages))
+	for id, pages := range tr.FilePages {
+		fmt.Fprintf(bw, "FILE %d %d\n", id, pages)
+	}
+	if len(tr.TypeNames) > 0 {
+		fmt.Fprintf(bw, "TYPES %d\n", len(tr.TypeNames))
+		for id, name := range tr.TypeNames {
+			fmt.Fprintf(bw, "TYPE %d %s\n", id, name)
+		}
+	}
+	for i := range tr.Txs {
+		tx := &tr.Txs[i]
+		fmt.Fprintf(bw, "TX %d %d\n", tx.Type, len(tx.Refs))
+		for _, r := range tx.Refs {
+			op := byte('R')
+			if r.Write {
+				op = 'W'
+			}
+			fmt.Fprintf(bw, "%c %d %d\n", op, r.File, r.Page)
+		}
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// Read parses a trace and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	next := func() (string, error) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("trace: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	hdr, err := next()
+	if err != nil {
+		return nil, fail("missing header: %v", err)
+	}
+	if hdr != formatHeader {
+		return nil, fail("bad header %q", hdr)
+	}
+
+	tr := &Trace{}
+	s, err := next()
+	if err != nil {
+		return nil, fail("missing FILES: %v", err)
+	}
+	var nFiles int
+	if _, err := fmt.Sscanf(s, "FILES %d", &nFiles); err != nil || nFiles <= 0 {
+		return nil, fail("bad FILES line %q", s)
+	}
+	tr.FilePages = make([]int64, nFiles)
+	for i := 0; i < nFiles; i++ {
+		s, err := next()
+		if err != nil {
+			return nil, fail("missing FILE: %v", err)
+		}
+		var id int
+		var pages int64
+		if _, err := fmt.Sscanf(s, "FILE %d %d", &id, &pages); err != nil {
+			return nil, fail("bad FILE line %q", s)
+		}
+		if id != i {
+			return nil, fail("FILE id %d out of order, want %d", id, i)
+		}
+		tr.FilePages[i] = pages
+	}
+
+	s, err = next()
+	if err != nil {
+		return nil, fail("truncated after files: %v", err)
+	}
+	if strings.HasPrefix(s, "TYPES ") {
+		var nTypes int
+		if _, err := fmt.Sscanf(s, "TYPES %d", &nTypes); err != nil || nTypes <= 0 {
+			return nil, fail("bad TYPES line %q", s)
+		}
+		tr.TypeNames = make([]string, nTypes)
+		for i := 0; i < nTypes; i++ {
+			s, err := next()
+			if err != nil {
+				return nil, fail("missing TYPE: %v", err)
+			}
+			parts := strings.SplitN(s, " ", 3)
+			if len(parts) != 3 || parts[0] != "TYPE" {
+				return nil, fail("bad TYPE line %q", s)
+			}
+			id, err := strconv.Atoi(parts[1])
+			if err != nil || id != i {
+				return nil, fail("TYPE id %q out of order", parts[1])
+			}
+			tr.TypeNames[i] = parts[2]
+		}
+		s, err = next()
+		if err != nil {
+			return nil, fail("truncated after types: %v", err)
+		}
+	}
+
+	for s != "END" {
+		var typ, nRefs int
+		if _, err := fmt.Sscanf(s, "TX %d %d", &typ, &nRefs); err != nil {
+			return nil, fail("bad TX line %q", s)
+		}
+		if nRefs <= 0 {
+			return nil, fail("TX with %d refs", nRefs)
+		}
+		tx := Tx{Type: typ, Refs: make([]Ref, 0, nRefs)}
+		for i := 0; i < nRefs; i++ {
+			s, err := next()
+			if err != nil {
+				return nil, fail("truncated tx: %v", err)
+			}
+			fields := strings.Fields(s)
+			if len(fields) != 3 || (fields[0] != "R" && fields[0] != "W") {
+				return nil, fail("bad ref line %q", s)
+			}
+			file, err1 := strconv.Atoi(fields[1])
+			page, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad ref numbers %q", s)
+			}
+			tx.Refs = append(tx.Refs, Ref{File: file, Page: page, Write: fields[0] == "W"})
+		}
+		tr.Txs = append(tr.Txs, tx)
+		s, err = next()
+		if err != nil {
+			return nil, fail("missing END: %v", err)
+		}
+	}
+
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

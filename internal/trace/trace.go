@@ -1,0 +1,151 @@
+// Package trace implements TPSIM's trace-driven workload path: a database
+// trace format with reader and writer, aggregate statistics, a synthetic
+// generator that reproduces the published characteristics of the paper's
+// real-life trace (section 4.6), and an adapter that feeds a trace into the
+// simulation engine as a workload source.
+//
+// The original trace (from a production IBM installation) is not available;
+// see DESIGN.md section 2 for the substitution argument.
+package trace
+
+import (
+	"fmt"
+)
+
+// Ref is a single page reference of a traced transaction.
+type Ref struct {
+	File  int
+	Page  int64
+	Write bool
+}
+
+// Tx is one traced transaction: its type and ordered page references.
+type Tx struct {
+	Type int
+	Refs []Ref
+}
+
+// Update reports whether the transaction writes at least one page.
+func (t *Tx) Update() bool {
+	for i := range t.Refs {
+		if t.Refs[i].Write {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace is a recorded (or synthesized) workload: a set of database files and
+// a sequence of transactions referencing their pages.
+type Trace struct {
+	// FilePages gives the size in pages of each database file; file ids in
+	// Refs index into it.
+	FilePages []int64
+	// TypeNames optionally labels the transaction types.
+	TypeNames []string
+	Txs       []Tx
+}
+
+// NumFiles returns the number of database files.
+func (tr *Trace) NumFiles() int { return len(tr.FilePages) }
+
+// Validate checks referential integrity: every reference must name an
+// existing file and a page within its bounds, and every transaction must
+// have a known type and at least one reference.
+func (tr *Trace) Validate() error {
+	if len(tr.FilePages) == 0 {
+		return fmt.Errorf("trace: no files")
+	}
+	for f, pages := range tr.FilePages {
+		if pages <= 0 {
+			return fmt.Errorf("trace: file %d has %d pages", f, pages)
+		}
+	}
+	for i := range tr.Txs {
+		tx := &tr.Txs[i]
+		if tx.Type < 0 {
+			return fmt.Errorf("trace: tx %d has negative type", i)
+		}
+		if len(tr.TypeNames) > 0 && tx.Type >= len(tr.TypeNames) {
+			return fmt.Errorf("trace: tx %d type %d out of range", i, tx.Type)
+		}
+		if len(tx.Refs) == 0 {
+			return fmt.Errorf("trace: tx %d has no references", i)
+		}
+		for j, r := range tx.Refs {
+			if r.File < 0 || r.File >= len(tr.FilePages) {
+				return fmt.Errorf("trace: tx %d ref %d: file %d out of range", i, j, r.File)
+			}
+			if r.Page < 0 || r.Page >= tr.FilePages[r.File] {
+				return fmt.Errorf("trace: tx %d ref %d: page %d out of range for file %d",
+					i, j, r.Page, r.File)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats are the aggregate characteristics of a trace, matching the numbers
+// the paper reports for its real-life workload.
+type Stats struct {
+	NumTxs        int
+	NumTypes      int
+	NumAccesses   int64
+	NumWrites     int64
+	UpdateTxs     int
+	DistinctPages int
+	MaxTxSize     int
+	TotalPages    int64 // database size in pages
+}
+
+// WriteFrac returns the fraction of accesses that are writes.
+func (s Stats) WriteFrac() float64 {
+	if s.NumAccesses == 0 {
+		return 0
+	}
+	return float64(s.NumWrites) / float64(s.NumAccesses)
+}
+
+// UpdateTxFrac returns the fraction of transactions performing updates.
+func (s Stats) UpdateTxFrac() float64 {
+	if s.NumTxs == 0 {
+		return 0
+	}
+	return float64(s.UpdateTxs) / float64(s.NumTxs)
+}
+
+// ComputeStats scans the trace and returns its aggregate characteristics.
+func (tr *Trace) ComputeStats() Stats {
+	s := Stats{NumTxs: len(tr.Txs)}
+	types := map[int]struct{}{}
+	type pageKey struct {
+		file int
+		page int64
+	}
+	distinct := map[pageKey]struct{}{}
+	for i := range tr.Txs {
+		tx := &tr.Txs[i]
+		types[tx.Type] = struct{}{}
+		if len(tx.Refs) > s.MaxTxSize {
+			s.MaxTxSize = len(tx.Refs)
+		}
+		update := false
+		for _, r := range tx.Refs {
+			s.NumAccesses++
+			if r.Write {
+				s.NumWrites++
+				update = true
+			}
+			distinct[pageKey{r.File, r.Page}] = struct{}{}
+		}
+		if update {
+			s.UpdateTxs++
+		}
+	}
+	s.NumTypes = len(types)
+	s.DistinctPages = len(distinct)
+	for _, p := range tr.FilePages {
+		s.TotalPages += p
+	}
+	return s
+}

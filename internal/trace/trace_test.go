@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func tinyTrace() *Trace {
+	return &Trace{
+		FilePages: []int64{100, 50},
+		TypeNames: []string{"query", "update"},
+		Txs: []Tx{
+			{Type: 0, Refs: []Ref{{File: 0, Page: 3}, {File: 1, Page: 7}}},
+			{Type: 1, Refs: []Ref{{File: 0, Page: 99, Write: true}}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]func(*Trace){
+		"no files":      func(tr *Trace) { tr.FilePages = nil },
+		"zero pages":    func(tr *Trace) { tr.FilePages[0] = 0 },
+		"neg type":      func(tr *Trace) { tr.Txs[0].Type = -1 },
+		"type range":    func(tr *Trace) { tr.Txs[0].Type = 5 },
+		"no refs":       func(tr *Trace) { tr.Txs[0].Refs = nil },
+		"bad file":      func(tr *Trace) { tr.Txs[0].Refs[0].File = 9 },
+		"page overflow": func(tr *Trace) { tr.Txs[0].Refs[0].Page = 100 },
+		"neg page":      func(tr *Trace) { tr.Txs[0].Refs[0].Page = -1 },
+	}
+	for name, mutate := range cases {
+		tr := tinyTrace()
+		mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := tinyTrace().ComputeStats()
+	if s.NumTxs != 2 || s.NumTypes != 2 || s.NumAccesses != 3 || s.NumWrites != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.UpdateTxs != 1 || s.DistinctPages != 3 || s.MaxTxSize != 2 || s.TotalPages != 150 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.WriteFrac() != 1.0/3.0 || s.UpdateTxFrac() != 0.5 {
+		t.Fatalf("fracs = %v %v", s.WriteFrac(), s.UpdateTxFrac())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := tinyTrace()
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Txs) != len(orig.Txs) || got.NumFiles() != orig.NumFiles() {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range orig.Txs {
+		if got.Txs[i].Type != orig.Txs[i].Type || len(got.Txs[i].Refs) != len(orig.Txs[i].Refs) {
+			t.Fatalf("tx %d mismatch", i)
+		}
+		for j := range orig.Txs[i].Refs {
+			if got.Txs[i].Refs[j] != orig.Txs[i].Refs[j] {
+				t.Fatalf("ref %d/%d mismatch: %+v vs %+v", i, j, got.Txs[i].Refs[j], orig.Txs[i].Refs[j])
+			}
+		}
+	}
+	if got.TypeNames[1] != "update" {
+		t.Fatalf("type names lost: %v", got.TypeNames)
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	spec := DefaultRealLifeSpec()
+	// Shrink for test speed: a few hundred transactions.
+	for i := range spec.Types {
+		spec.Types[i].Count = (spec.Types[i].Count + 49) / 50
+	}
+	orig := GenerateFromSpec(spec, 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, sg := orig.ComputeStats(), got.ComputeStats()
+	if so != sg {
+		t.Fatalf("stats changed in round trip:\n%+v\n%+v", so, sg)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "NOT-A-TRACE\n",
+		"no files":     "TPSIM-TRACE 1\n",
+		"files zero":   "TPSIM-TRACE 1\nFILES 0\nEND\n",
+		"file order":   "TPSIM-TRACE 1\nFILES 2\nFILE 1 10\nFILE 0 10\nEND\n",
+		"bad tx":       "TPSIM-TRACE 1\nFILES 1\nFILE 0 10\nTX x y\nEND\n",
+		"truncated tx": "TPSIM-TRACE 1\nFILES 1\nFILE 0 10\nTX 0 2\nR 0 1\nEND\n",
+		"bad ref op":   "TPSIM-TRACE 1\nFILES 1\nFILE 0 10\nTX 0 1\nX 0 1\nEND\n",
+		"page range":   "TPSIM-TRACE 1\nFILES 1\nFILE 0 10\nTX 0 1\nR 0 10\nEND\n",
+		"missing end":  "TPSIM-TRACE 1\nFILES 1\nFILE 0 10\nTX 0 1\nR 0 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\nTPSIM-TRACE 1\n\nFILES 1\nFILE 0 10\n# another\nTX 0 1\nR 0 5\nEND\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Txs) != 1 {
+		t.Fatalf("txs = %d", len(tr.Txs))
+	}
+}
+
+func TestSourceReplay(t *testing.T) {
+	tr := tinyTrace()
+	src, err := NewSource(tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumTypes() != 1 || src.Len() != 2 {
+		t.Fatalf("source shape wrong")
+	}
+	name, rate := src.TypeInfo(0)
+	if name != "trace-replay" || rate != 100 {
+		t.Fatalf("TypeInfo = %q %v", name, rate)
+	}
+	s := rng.NewStream(1, "t")
+	first := src.Next(0, s)
+	if first.TypeName != "query" || len(first.Accesses) != 2 {
+		t.Fatalf("first tx = %+v", first)
+	}
+	if first.Accesses[0].Page != 3 || first.Accesses[0].Partition != 0 {
+		t.Fatalf("first access = %+v", first.Accesses[0])
+	}
+	second := src.Next(0, s)
+	if !second.Accesses[0].Write {
+		t.Fatal("write flag lost")
+	}
+	// Wrap-around.
+	third := src.Next(0, s)
+	if third.TypeName != "query" {
+		t.Fatal("source did not wrap")
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	if _, err := NewSource(tinyTrace(), 0); err == nil {
+		t.Fatal("zero rate must error")
+	}
+	bad := tinyTrace()
+	bad.Txs[0].Refs[0].File = 42
+	if _, err := NewSource(bad, 10); err == nil {
+		t.Fatal("invalid trace must error")
+	}
+	empty := &Trace{FilePages: []int64{10}}
+	if _, err := NewSource(empty, 10); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestSourcePartitions(t *testing.T) {
+	src, _ := NewSource(tinyTrace(), 10)
+	parts := src.Partitions()
+	if len(parts) != 2 || parts[0].NumObjects != 100 || parts[1].NumObjects != 50 {
+		t.Fatalf("partitions = %+v", parts)
+	}
+	for _, p := range parts {
+		if p.BlockFactor != 1 {
+			t.Fatal("trace partitions must be page-granular")
+		}
+	}
+}
+
+func TestTypeHistogram(t *testing.T) {
+	tr := tinyTrace()
+	h := tr.TypeHistogram()
+	if len(h) != 2 || h[0] != 1 || h[1] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestHottestPages(t *testing.T) {
+	tr := &Trace{
+		FilePages: []int64{10},
+		Txs: []Tx{
+			{Type: 0, Refs: []Ref{{Page: 5}, {Page: 5}, {Page: 5}, {Page: 2}, {Page: 2}, {Page: 9}}},
+		},
+	}
+	top := tr.HottestPages(2)
+	if len(top) != 2 || top[0].Page != 5 || top[1].Page != 2 {
+		t.Fatalf("hottest = %+v", top)
+	}
+}

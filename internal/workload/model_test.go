@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validModel() *Model {
+	return &Model{
+		Partitions: []Partition{
+			{Name: "small", NumObjects: 10_000, BlockFactor: 10, Subpartitions: BCRule(0.8, 0.2)},
+			{Name: "large", NumObjects: 100_000, BlockFactor: 10},
+		},
+		TxTypes: []TxType{
+			{Name: "upd", ArrivalRate: 100, TxSize: 10, WriteProb: 1, VarSize: true, RefRow: []float64{0.8, 0.2}},
+		},
+	}
+}
+
+func TestModelValidateOK(t *testing.T) {
+	if err := validModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateCatchesErrors(t *testing.T) {
+	cases := map[string]func(*Model){
+		"no partitions":    func(m *Model) { m.Partitions = nil },
+		"no tx types":      func(m *Model) { m.TxTypes = nil },
+		"zero objects":     func(m *Model) { m.Partitions[0].NumObjects = 0 },
+		"zero blockfactor": func(m *Model) { m.Partitions[0].BlockFactor = 0 },
+		"bad subpart size": func(m *Model) { m.Partitions[0].Subpartitions = []Subpartition{{0.5, 1.0}} },
+		"bad subpart prob": func(m *Model) {
+			m.Partitions[0].Subpartitions = []Subpartition{{0.5, 0.3}, {0.5, 0.3}}
+		},
+		"negative rate":   func(m *Model) { m.TxTypes[0].ArrivalRate = -1 },
+		"tiny txsize":     func(m *Model) { m.TxTypes[0].TxSize = 0 },
+		"bad writeprob":   func(m *Model) { m.TxTypes[0].WriteProb = 1.5 },
+		"short refrow":    func(m *Model) { m.TxTypes[0].RefRow = []float64{1} },
+		"refrow not 1":    func(m *Model) { m.TxTypes[0].RefRow = []float64{0.8, 0.1} },
+		"negative refrow": func(m *Model) { m.TxTypes[0].RefRow = []float64{1.5, -0.5} },
+	}
+	for name, mutate := range cases {
+		m := validModel()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestPartitionPages(t *testing.T) {
+	p := Partition{Name: "p", NumObjects: 95, BlockFactor: 10}
+	if got := p.NumPages(); got != 10 {
+		t.Fatalf("NumPages = %d, want 10", got)
+	}
+	if got := p.PageOf(0); got != 0 {
+		t.Fatalf("PageOf(0) = %d", got)
+	}
+	if got := p.PageOf(94); got != 9 {
+		t.Fatalf("PageOf(94) = %d", got)
+	}
+}
+
+func TestBCRule(t *testing.T) {
+	sp := BCRule(0.9, 0.1)
+	if len(sp) != 2 {
+		t.Fatalf("len = %d", len(sp))
+	}
+	if sp[0].SizeFrac != 0.1 || sp[0].AccessProb != 0.9 {
+		t.Fatalf("hot slice = %+v", sp[0])
+	}
+	if math.Abs(sp[0].SizeFrac+sp[1].SizeFrac-1) > 1e-12 {
+		t.Fatal("sizes must sum to 1")
+	}
+}
+
+func TestTxUpdate(t *testing.T) {
+	tx := Tx{Accesses: []Access{{Write: false}, {Write: false}}}
+	if tx.Update() {
+		t.Fatal("read-only tx reported update")
+	}
+	tx.Accesses[1].Write = true
+	if !tx.Update() {
+		t.Fatal("update tx not detected")
+	}
+}
+
+// Property: PageOf is monotone and within [0, NumPages) for any object.
+func TestPageOfBounds(t *testing.T) {
+	f := func(objects uint32, bf uint8, probe uint32) bool {
+		n := int64(objects%1_000_000) + 1
+		b := int(bf%64) + 1
+		p := Partition{Name: "q", NumObjects: n, BlockFactor: b}
+		obj := int64(probe) % n
+		page := p.PageOf(obj)
+		return page >= 0 && page < p.NumPages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

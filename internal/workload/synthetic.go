@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Synthetic generates transactions from the general synthetic model of
+// section 3.1: partition selection by the relative reference matrix, object
+// selection by the partition's subpartition (generalized b/c) rule,
+// sequential or random intra-transaction access, fixed or exponentially
+// distributed size.
+type Synthetic struct {
+	model *Model
+
+	refDist []*rng.Discrete // per tx type: partition choice
+	spDist  []*rng.Discrete // per partition: subpartition choice (nil = uniform)
+	// spBase[p][k] is the first object of subpartition k of partition p;
+	// spSize[p][k] its object count.
+	spBase [][]int64
+	spSize [][]int64
+	// seqTail tracks the append position of sequential partitions, shared by
+	// all transaction types (like Debit-Credit's HISTORY end-of-file).
+	seqTail []int64
+}
+
+// NewSynthetic validates the model and builds the sampling structures.
+func NewSynthetic(m *Model) (*Synthetic, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Synthetic{
+		model:   m,
+		refDist: make([]*rng.Discrete, len(m.TxTypes)),
+		spDist:  make([]*rng.Discrete, len(m.Partitions)),
+		spBase:  make([][]int64, len(m.Partitions)),
+		spSize:  make([][]int64, len(m.Partitions)),
+		seqTail: make([]int64, len(m.Partitions)),
+	}
+	for i := range m.TxTypes {
+		d, err := rng.NewDiscrete(m.TxTypes[i].RefRow)
+		if err != nil {
+			return nil, fmt.Errorf("workload: type %q reference row: %w", m.TxTypes[i].Name, err)
+		}
+		g.refDist[i] = d
+	}
+	for p := range m.Partitions {
+		part := &m.Partitions[p]
+		if len(part.Subpartitions) == 0 {
+			continue
+		}
+		probs := make([]float64, len(part.Subpartitions))
+		base := make([]int64, len(part.Subpartitions))
+		size := make([]int64, len(part.Subpartitions))
+		var off int64
+		for k, sp := range part.Subpartitions {
+			probs[k] = sp.AccessProb
+			base[k] = off
+			size[k] = int64(sp.SizeFrac * float64(part.NumObjects))
+			if size[k] < 1 {
+				size[k] = 1
+			}
+			off += size[k]
+		}
+		// Absorb rounding drift into the last subpartition.
+		if off != part.NumObjects {
+			size[len(size)-1] += part.NumObjects - off
+			if size[len(size)-1] < 1 {
+				return nil, fmt.Errorf("workload: partition %q too small for its subpartitions", part.Name)
+			}
+		}
+		d, err := rng.NewDiscrete(probs)
+		if err != nil {
+			return nil, fmt.Errorf("workload: partition %q subpartitions: %w", part.Name, err)
+		}
+		g.spDist[p] = d
+		g.spBase[p] = base
+		g.spSize[p] = size
+	}
+	return g, nil
+}
+
+// Model returns the underlying model.
+func (g *Synthetic) Model() *Model { return g.model }
+
+// NumTypes implements Generator.
+func (g *Synthetic) NumTypes() int { return len(g.model.TxTypes) }
+
+// TypeInfo implements Generator.
+func (g *Synthetic) TypeInfo(i int) (string, float64) {
+	tt := &g.model.TxTypes[i]
+	return tt.Name, tt.ArrivalRate
+}
+
+// pickObject selects an object in partition p according to its subpartition
+// access probabilities (uniform when none are defined).
+func (g *Synthetic) pickObject(p int, s *rng.Stream) int64 {
+	part := &g.model.Partitions[p]
+	if part.Sequential {
+		obj := g.seqTail[p] % part.NumObjects
+		g.seqTail[p]++
+		return obj
+	}
+	if g.spDist[p] == nil {
+		return s.Int63n(part.NumObjects)
+	}
+	k := g.spDist[p].Sample(s)
+	return g.spBase[p][k] + s.Int63n(g.spSize[p][k])
+}
+
+// size draws the number of object accesses for one transaction of type tt.
+func (g *Synthetic) size(tt *TxType, s *rng.Stream) int {
+	if !tt.VarSize {
+		return int(tt.TxSize + 0.5)
+	}
+	return s.ExpInt(tt.TxSize, 1)
+}
+
+// Next implements Generator: it builds one transaction of type i.
+func (g *Synthetic) Next(i int, s *rng.Stream) Tx {
+	tt := &g.model.TxTypes[i]
+	n := g.size(tt, s)
+	tx := Tx{Type: i, TypeName: tt.Name, Accesses: make([]Access, 0, n)}
+
+	if tt.Sequential {
+		// Sequential types access one partition: the first object by the
+		// partition rule, then the n-1 directly following objects.
+		p := g.refDist[i].Sample(s)
+		part := &g.model.Partitions[p]
+		first := g.pickObject(p, s)
+		for k := 0; k < n; k++ {
+			obj := (first + int64(k)) % part.NumObjects
+			tx.Accesses = append(tx.Accesses, Access{
+				Partition: p,
+				Object:    obj,
+				Page:      part.PageOf(obj),
+				Write:     s.Bool(tt.WriteProb),
+			})
+		}
+		return tx
+	}
+
+	for k := 0; k < n; k++ {
+		p := g.refDist[i].Sample(s)
+		obj := g.pickObject(p, s)
+		tx.Accesses = append(tx.Accesses, Access{
+			Partition: p,
+			Object:    obj,
+			Page:      g.model.Partitions[p].PageOf(obj),
+			Write:     s.Bool(tt.WriteProb),
+		})
+	}
+	return tx
+}
