@@ -10,6 +10,7 @@
 package tpsim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
@@ -21,7 +22,13 @@ import (
 	"repro/internal/workload"
 )
 
-var benchOpts = experiments.Options{Quick: true, Seed: 1}
+// benchOpts leaves Parallelism at its default (GOMAXPROCS), so every figure
+// benchmark exercises the parallel run pool; benchSerialOpts pins one worker
+// for speedup comparisons against the same workload.
+var (
+	benchOpts       = experiments.Options{Quick: true, Seed: 1}
+	benchSerialOpts = experiments.Options{Quick: true, Seed: 1, Parallelism: 1}
+)
 
 // --- one benchmark per paper table/figure (DESIGN.md experiment index) ---
 
@@ -128,6 +135,30 @@ func BenchmarkFig48LockContention(b *testing.B) {
 func BenchmarkTable21CostModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table21(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig42DBAllocationSerial regenerates Fig 4.2 with a single pool
+// worker; compare against BenchmarkFig42DBAllocation for the parallel
+// speedup (output of both is byte-identical).
+func BenchmarkFig42DBAllocationSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig42(benchSerialOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig41Replicated regenerates Fig 4.1 with three replications per
+// sweep point (mean ± 95% CI), fanned out across all cores.
+func BenchmarkFig41Replicated(b *testing.B) {
+	opts := benchOpts
+	opts.Replications = 3
+	opts.Parallelism = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig41(opts); err != nil {
 			b.Fatal(err)
 		}
 	}

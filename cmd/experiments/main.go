@@ -3,13 +3,22 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run fig4.1 [-quick] [-seed 1]
+//	experiments -run fig4.1 [-quick] [-seed 1] [-reps 5] [-parallel 8]
+//	experiments -run 'fig4\..*' [-quick]
 //	experiments -all [-quick]
+//
+// -run takes an anchored regular expression over experiment ids. -reps N
+// runs every simulation point N times with derived seeds and renders mean ±
+// 95% confidence interval; -parallel caps the number of concurrently
+// executing simulation runs (0 = GOMAXPROCS). Output is byte-identical for
+// any -parallel value.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -17,49 +26,62 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available experiments")
-	run := flag.String("run", "", "experiment id to run (e.g. fig4.1)")
-	all := flag.Bool("all", false, "run every experiment")
-	quick := flag.Bool("quick", false, "shorter windows and sparser sweeps")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+// run executes the command against the given argument list and streams; it
+// returns the process exit code (0 ok, 1 runtime error, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available experiments")
+	pattern := fs.String("run", "", "anchored regexp of experiment ids to run (e.g. fig4.1 or 'fig4\\..*')")
+	all := fs.Bool("all", false, "run every experiment")
+	quick := fs.Bool("quick", false, "shorter windows and sparser sweeps")
+	seed := fs.Int64("seed", 1, "random seed")
+	reps := fs.Int("reps", 1, "independent replications per simulation point (mean ± 95% CI when > 1)")
+	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	opts := experiments.Options{
+		Seed: *seed, Quick: *quick,
+		Replications: *reps, Parallelism: *parallel,
+	}
 
+	var selected []experiments.Experiment
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
-			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+			fmt.Fprintf(stdout, "%-26s %s\n", e.Name, e.Title)
 		}
+		return 0
 	case *all:
-		for _, e := range experiments.All() {
-			if err := runOne(e, opts); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
-		}
-	case *run != "":
-		e, err := experiments.ByName(*run)
+		selected = experiments.All()
+	case *pattern != "":
+		var err error
+		selected, err = experiments.Match(*pattern)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		if err := runOne(e, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
-}
 
-func runOne(e experiments.Experiment, opts experiments.Options) error {
-	start := time.Now()
-	out, err := e.Run(opts)
-	if err != nil {
-		return fmt.Errorf("%s: %w", e.Name, err)
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "error: %s: %v\n", e.Name, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "=== %s: %s ===\n%s(took %.1fs)\n\n",
+			e.Name, e.Title, out, time.Since(start).Seconds())
 	}
-	fmt.Printf("=== %s: %s ===\n%s(took %.1fs)\n\n", e.Name, e.Title, out, time.Since(start).Seconds())
-	return nil
+	return 0
 }

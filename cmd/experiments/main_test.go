@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig4.1", "fig4.8", "table4.2a", "table2.1", "ablation.clustering"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "nope")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no experiment matches") {
+		t.Errorf("stderr missing match error: %q", errOut)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	code, _, errOut := runCmd(t, "-run", "fig4.(")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "bad pattern") {
+		t.Errorf("stderr missing pattern error: %q", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-bogus"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errOut := runCmd(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+	if !strings.Contains(errOut, "-reps") {
+		t.Errorf("help missing -reps flag: %q", errOut)
+	}
+}
+
+func TestNoActionShowsUsage(t *testing.T) {
+	code, _, errOut := runCmd(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-run") {
+		t.Errorf("usage missing from stderr: %q", errOut)
+	}
+}
+
+// TestEndToEndQuickReplicated runs one real experiment in quick mode through
+// the parallel replicated path and checks the rendered mean ± CI output.
+func TestEndToEndQuickReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	code, out, errOut := runCmd(t,
+		"-run", "ablation\\.destage-policy", "-quick", "-reps", "2", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"=== ablation.destage-policy", "immediate", "deferred", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestGenerateAndStatsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reallife.trace")
+	code, out, errOut := runCmd(t, "-out", path, "-seed", "7", "-top", "3")
+	if code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"transactions:", "distinct pages:", "hottest 3 pages:", "written to " + path} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generate output missing %q:\n%s", want, out)
+		}
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	code, statsOut, errOut := runCmd(t, "-stats", path)
+	if code != 0 {
+		t.Fatalf("stats exit %d, stderr: %s", code, errOut)
+	}
+	// The stats report of the written file must match the report printed at
+	// generation time (same trace, same aggregates).
+	genReport := strings.Split(out, "hottest")[0]
+	if !strings.Contains(statsOut, strings.TrimSpace(strings.Split(genReport, "\n")[0])) {
+		t.Errorf("stats report diverges from generation report:\n%s\nvs\n%s", statsOut, out)
+	}
+	if !strings.Contains(statsOut, "update txs:") {
+		t.Errorf("stats output missing aggregates:\n%s", statsOut)
+	}
+}
+
+func TestStatsMissingFile(t *testing.T) {
+	code, _, errOut := runCmd(t, "-stats", filepath.Join(t.TempDir(), "nope.trace"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "tracegen:") {
+		t.Errorf("stderr missing error: %q", errOut)
+	}
+}
+
+func TestStatsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, "-stats", path); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-bogus"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if code, _, _ := runCmd(t, "-h"); code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+}
+
+func TestNoActionShowsUsage(t *testing.T) {
+	code, _, errOut := runCmd(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "-out") {
+		t.Errorf("usage missing from stderr: %q", errOut)
+	}
+}

@@ -6,7 +6,10 @@
 // partition by the engine.
 package cc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // TxnID identifies a transaction for locking purposes.
 type TxnID int64
@@ -200,13 +203,28 @@ func (m *Manager) grant(txn TxnID, g Granule, e *lockEntry, mode Mode) {
 // ReleaseAll releases every lock txn holds (commit phase 2 or abort) and
 // grants any now-compatible queued requests. If txn is still waiting for a
 // lock (abort while blocked), the pending request is removed first.
+//
+// Locks are released in sorted granule order, NOT map order: the release
+// order decides which queued waiter is granted (and scheduled) first, so a
+// randomized order would make whole simulation runs nondeterministic under
+// contention.
 func (m *Manager) ReleaseAll(txn TxnID) {
 	if g, waiting := m.pending[txn]; waiting {
 		m.removeWaiter(txn, g)
 	}
 	locks := m.held[txn]
 	delete(m.held, txn)
+	granules := make([]Granule, 0, len(locks))
 	for g := range locks {
+		granules = append(granules, g)
+	}
+	sort.Slice(granules, func(i, j int) bool {
+		if granules[i].Partition != granules[j].Partition {
+			return granules[i].Partition < granules[j].Partition
+		}
+		return granules[i].ID < granules[j].ID
+	})
+	for _, g := range granules {
 		e := m.locks[g]
 		delete(e.holders, txn)
 		m.dispatch(g, e)

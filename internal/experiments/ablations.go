@@ -34,30 +34,32 @@ func AblationGroupCommit(o Options) (*stats.Figure, error) {
 		}},
 		{"log-nvem-no-group-commit", nil}, // built from the NVEM log scheme
 	}
-	for _, v := range variants {
-		var points []float64
-		for _, rate := range fig.X {
-			setup := DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular},
-				Log: LogSpec{Kind: LogDisk, Disks: 1}}
-			if v.mut == nil {
-				setup.Log = LogSpec{Kind: LogNVEM}
-			}
-			cfg, err := setup.Build(o)
-			if err != nil {
-				return nil, err
-			}
-			if v.mut != nil {
-				v.mut(&cfg)
-			}
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("ablation group-commit %s @%v: %w", v.label, rate, err)
-			}
-			points = append(points, res.RespMean)
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		v, rate := variants[si], fig.X[xi]
+		setup := DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular},
+			Log: LogSpec{Kind: LogDisk, Disks: 1}}
+		if v.mut == nil {
+			setup.Log = LogSpec{Kind: LogNVEM}
 		}
-		if err := fig.AddSeries(v.label, points); err != nil {
+		cfg, err := setup.Build(o)
+		if err != nil {
 			return nil, err
 		}
+		if v.mut != nil {
+			v.mut(&cfg)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation group-commit %s @%v: %w", v.label, rate, err)
+		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -83,23 +85,25 @@ func AblationAsyncReplacement(o Options) (*stats.Figure, error) {
 		{"disk-async-replacement", DBSpec{Kind: DBRegular}, LogSpec{Kind: LogDisk}, true},
 		{"disk-cache-write-buffer", DBSpec{Kind: DBDiskCacheWB, Size: 500}, LogSpec{Kind: LogDiskWB, Size: 500}, false},
 	}
-	for _, v := range variants {
-		var points []float64
-		for _, rate := range fig.X {
-			cfg, err := DCSetup{Rate: rate, DB: v.db, Log: v.log}.Build(o)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Buffer.AsyncReplacement = v.async
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("ablation async-replacement %s @%v: %w", v.label, rate, err)
-			}
-			points = append(points, res.RespMean)
-		}
-		if err := fig.AddSeries(v.label, points); err != nil {
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		v, rate := variants[si], fig.X[xi]
+		cfg, err := DCSetup{Rate: rate, DB: v.db, Log: v.log}.Build(o)
+		if err != nil {
 			return nil, err
 		}
+		cfg.Buffer.AsyncReplacement = v.async
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation async-replacement %s @%v: %w", v.label, rate, err)
+		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -115,31 +119,49 @@ func AblationMigrationModes(o Options) (*stats.Figure, error) {
 		X:      []float64{0, 1, 2},
 	}
 	modes := []buffer.MigrateMode{buffer.MigrateAll, buffer.MigrateModified, buffer.MigrateUnmodified}
-	var hits, resp []float64
-	for _, mode := range modes {
-		cfg, err := TraceSetup{MMBuffer: 1000,
-			DB: DBSpec{Kind: DBNVEMCache, Size: 2000}, Log: LogSpec{Kind: LogNVEM}}.Build(o)
-		if err != nil {
-			return nil, err
-		}
-		for i := range cfg.Buffer.Partitions {
-			cfg.Buffer.Partitions[i].NVEMCacheMode = mode
-		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ablation migration mode %v: %w", mode, err)
-		}
-		hits = append(hits, res.NVEMAddHitPct)
-		resp = append(resp, res.RespMean)
+	g := newGrid(o, 1, len(modes))
+	for xi, mode := range modes {
+		g.add(0, xi, func(o Options) (*core.Result, error) {
+			cfg, err := TraceSetup{MMBuffer: 1000,
+				DB: DBSpec{Kind: DBNVEMCache, Size: 2000}, Log: LogSpec{Kind: LogNVEM}}.Build(o)
+			if err != nil {
+				return nil, err
+			}
+			for i := range cfg.Buffer.Partitions {
+				cfg.Buffer.Partitions[i].NVEMCacheMode = mode
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation migration mode %v: %w", mode, err)
+			}
+			return res, nil
+		})
 	}
-	if err := fig.AddSeries("nvem-add-hit-pct", hits); err != nil {
+	cells, err := g.run()
+	if err != nil {
 		return nil, err
 	}
-	if err := fig.AddSeries("resp-ms", resp); err != nil {
+	hits, hitCI := seriesOf(cells[0], nvemAddHitPct)
+	resp, respCI := seriesOf(cells[0], respMean)
+	if err := fig.AddSeriesCI("nvem-add-hit-pct", hits, hitCI); err != nil {
+		return nil, err
+	}
+	if err := fig.AddSeriesCI("resp-ms", resp, respCI); err != nil {
 		return nil, err
 	}
 	return fig, nil
 }
+
+// Metric extractors local to the clustering ablation.
+
+func fixesPerTx(r *core.Result) float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Buffer.Fixes) / float64(r.Commits)
+}
+
+func lockConflicts(r *core.Result) float64 { return float64(r.Locks.Conflicts) }
 
 // AblationClustering quantifies the BRANCH/TELLER clustering option of
 // section 3.1: storing TELLER records in their BRANCH record's page reduces
@@ -147,47 +169,59 @@ func AblationMigrationModes(o Options) (*stats.Figure, error) {
 // and (under page-level CC) reduces data contention.
 func AblationClustering(o Options) (string, error) {
 	out := "Ablation A5: BRANCH/TELLER clustering (Debit-Credit, 500 TPS, disk-based)\n"
-	for _, clustered := range []bool{true, false} {
-		dcc := workload.DefaultDebitCreditConfig(500)
-		dcc.ClusterBranchTeller = clustered
-		gen, err := workload.NewDebitCredit(dcc)
-		if err != nil {
-			return "", err
-		}
-		cfg := core.Defaults()
-		cfg.Seed = o.seed()
-		cfg.WarmupMS, cfg.MeasureMS = o.windows()
-		cfg.Partitions = gen.Partitions()
-		cfg.Generator = gen
-		cfg.CCModes = make([]cc.Granularity, len(cfg.Partitions))
-		for i := range cfg.CCModes {
-			cfg.CCModes[i] = cc.PageLevel
-		}
-		cfg.CCModes[gen.HistoryPartition()] = cc.NoCC
-		cfg.DiskUnits = []storage.DiskUnitConfig{
-			{Name: "db", Type: storage.Regular, NumControllers: 12,
-				ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
-				NumDisks: 96, DiskDelay: core.DefaultDBDiskDelay},
-			{Name: "log", Type: storage.Regular, NumControllers: 2,
-				ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
-				NumDisks: 8, DiskDelay: core.DefaultLogDiskDelay},
-		}
-		cfg.Buffer = buffer.Config{BufferSize: 2000, Logging: true,
-			Log: buffer.LogAlloc{DiskUnit: 1}}
-		for range cfg.Partitions {
-			cfg.Buffer.Partitions = append(cfg.Buffer.Partitions, buffer.PartitionAlloc{DiskUnit: 0})
-		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return "", fmt.Errorf("ablation clustering=%v: %w", clustered, err)
-		}
+	variants := []bool{true, false}
+	g := newGrid(o, len(variants), 1)
+	for vi, clustered := range variants {
+		g.add(vi, 0, func(o Options) (*core.Result, error) {
+			dcc := workload.DefaultDebitCreditConfig(500)
+			dcc.ClusterBranchTeller = clustered
+			gen, err := workload.NewDebitCredit(dcc)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Defaults()
+			cfg.Seed = o.seed()
+			cfg.WarmupMS, cfg.MeasureMS = o.windows()
+			cfg.Partitions = gen.Partitions()
+			cfg.Generator = gen
+			cfg.CCModes = make([]cc.Granularity, len(cfg.Partitions))
+			for i := range cfg.CCModes {
+				cfg.CCModes[i] = cc.PageLevel
+			}
+			cfg.CCModes[gen.HistoryPartition()] = cc.NoCC
+			cfg.DiskUnits = []storage.DiskUnitConfig{
+				{Name: "db", Type: storage.Regular, NumControllers: 12,
+					ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
+					NumDisks: 96, DiskDelay: core.DefaultDBDiskDelay},
+				{Name: "log", Type: storage.Regular, NumControllers: 2,
+					ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
+					NumDisks: 8, DiskDelay: core.DefaultLogDiskDelay},
+			}
+			cfg.Buffer = buffer.Config{BufferSize: 2000, Logging: true,
+				Log: buffer.LogAlloc{DiskUnit: 1}}
+			for range cfg.Partitions {
+				cfg.Buffer.Partitions = append(cfg.Buffer.Partitions, buffer.PartitionAlloc{DiskUnit: 0})
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation clustering=%v: %w", clustered, err)
+			}
+			return res, nil
+		})
+	}
+	cells, err := g.run()
+	if err != nil {
+		return "", err
+	}
+	for vi, clustered := range variants {
 		label := "clustered"
 		if !clustered {
 			label = "unclustered"
 		}
-		out += fmt.Sprintf("  %-11s resp=%6.2f ms  fixes/tx=%.2f  mmHit=%.1f%%  lock conflicts=%d\n",
-			label, res.RespMean, float64(res.Buffer.Fixes)/float64(res.Commits),
-			res.MMHitPct, res.Locks.Conflicts)
+		c := cells[vi][0]
+		out += fmt.Sprintf("  %-11s resp=%s ms  fixes/tx=%s  mmHit=%s%%  lock conflicts=%s\n",
+			label, c.fmtMeanCI("%6.2f", respMean), c.fmtMeanCI("%.2f", fixesPerTx),
+			c.fmtMeanCI("%.1f", mmHitPct), c.fmtMeanCI("%.0f", lockConflicts))
 	}
 	out += "Clustering reduces the distinct pages per transaction from four to\n"
 	out += "three: the TELLER access always finds its BRANCH page buffered, which\n"
@@ -200,24 +234,38 @@ func AblationClustering(o Options) (string, error) {
 // destage saves disk writes (the section 3.2 discussion).
 func AblationDestagePolicy(o Options) (string, error) {
 	out := "Ablation A4: NVEM destage policy under FORCE (Debit-Credit, 500 TPS, NVEM cache 1000)\n"
-	for _, deferred := range []bool{false, true} {
-		cfg, err := DCSetup{Rate: 500, Force: true, MMBuffer: 2000,
-			DB: DBSpec{Kind: DBNVEMCache, Size: 1000}, Log: LogSpec{Kind: LogNVEM}}.Build(o)
-		if err != nil {
-			return "", err
-		}
-		cfg.Buffer.NVEMDeferredDestage = deferred
-		res, err := core.Run(cfg)
-		if err != nil {
-			return "", fmt.Errorf("ablation destage deferred=%v: %w", deferred, err)
-		}
+	variants := []bool{false, true}
+	g := newGrid(o, len(variants), 1)
+	for vi, deferred := range variants {
+		g.add(vi, 0, func(o Options) (*core.Result, error) {
+			cfg, err := DCSetup{Rate: 500, Force: true, MMBuffer: 2000,
+				DB: DBSpec{Kind: DBNVEMCache, Size: 1000}, Log: LogSpec{Kind: LogNVEM}}.Build(o)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Buffer.NVEMDeferredDestage = deferred
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation destage deferred=%v: %w", deferred, err)
+			}
+			return res, nil
+		})
+	}
+	cells, err := g.run()
+	if err != nil {
+		return "", err
+	}
+	for vi, deferred := range variants {
 		policy := "immediate"
 		if deferred {
 			policy = "deferred"
 		}
-		out += fmt.Sprintf("  %-9s resp=%6.2f ms  async disk writes=%6d  evict destages=%5d  disk writes=%6d\n",
-			policy, res.RespMean, res.Buffer.AsyncDiskWrites, res.Buffer.NVEMEvictWrites,
-			res.Units[0].Stats.Writes)
+		c := cells[vi][0]
+		out += fmt.Sprintf("  %-9s resp=%s ms  async disk writes=%s  evict destages=%s  disk writes=%s\n",
+			policy, c.fmtMeanCI("%6.2f", respMean),
+			c.fmtMeanCI("%6.0f", func(r *core.Result) float64 { return float64(r.Buffer.AsyncDiskWrites) }),
+			c.fmtMeanCI("%5.0f", func(r *core.Result) float64 { return float64(r.Buffer.NVEMEvictWrites) }),
+			c.fmtMeanCI("%6.0f", func(r *core.Result) float64 { return float64(r.Units[0].Stats.Writes) }))
 	}
 	out += "Deferred destage trades disk-write traffic for an extra NVEM transfer\n"
 	out += "per eviction; it pays off when forced pages are modified repeatedly.\n"

@@ -141,18 +141,20 @@ func Fig48(o Options) (*stats.Figure, error) {
 		{"mixed:object-locks", ContMixed, cc.ObjectLevel},
 		{"nvem:page-locks", ContNVEM, cc.PageLevel},
 	}
-	for _, sc := range schemes {
-		var points []float64
-		for _, rate := range fig.X {
-			res, err := ContentionSetup{Rate: rate, Alloc: sc.alloc, Granularity: sc.gran}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.8 %s @%v: %w", sc.label, rate, err)
-			}
-			points = append(points, res.RespMean)
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, rate := schemes[si], fig.X[xi]
+		res, err := ContentionSetup{Rate: rate, Alloc: sc.alloc, Granularity: sc.gran}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.8 %s @%v: %w", sc.label, rate, err)
 		}
-		if err := fig.AddSeries(sc.label, points); err != nil {
-			return nil, err
-		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

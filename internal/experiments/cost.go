@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/costmodel"
 )
 
@@ -31,11 +32,22 @@ func Table21(o Options) (string, error) {
 	}
 
 	b.WriteString(fmt.Sprintf("Cost-effectiveness of the Fig 4.2 allocation schemes (Debit-Credit, %.0f TPS):\n\n", rate))
-	for _, sc := range dbSchemes42() {
-		res, err := DCSetup{Rate: rate, DB: sc.DB, Log: sc.Log}.Run(o)
-		if err != nil {
-			return "", fmt.Errorf("table2.1 %s: %w", sc.Label, err)
-		}
+	schemes := dbSchemes42()
+	g := newGrid(o, len(schemes), 1)
+	for si, sc := range schemes {
+		g.add(si, 0, func(o Options) (*core.Result, error) {
+			res, err := DCSetup{Rate: rate, DB: sc.DB, Log: sc.Log}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("table2.1 %s: %w", sc.Label, err)
+			}
+			return res, nil
+		})
+	}
+	cells, err := g.run()
+	if err != nil {
+		return "", err
+	}
+	for si, sc := range schemes {
 		br := costmodel.Breakdown{Label: sc.Label}
 		br.AddPages("main-memory buffer", costmodel.MainMemory, mmBufPages)
 		switch sc.DB.Kind {
@@ -56,7 +68,9 @@ func Table21(o Options) (string, error) {
 			br.Add("log on disk", costmodel.Disk, histLogMB)
 		}
 		b.WriteString(br.Render())
-		b.WriteString(fmt.Sprintf("  -> measured response time %.2f ms (%.1f TPS)\n\n", res.RespMean, res.Throughput))
+		c := cells[si][0]
+		b.WriteString(fmt.Sprintf("  -> measured response time %s ms (%s TPS)\n\n",
+			c.fmtMeanCI("%.2f", respMean), c.fmtMeanCI("%.1f", throughput)))
 	}
 	b.WriteString("The orderings confirm section 5: full NVEM residence buys the best\n")
 	b.WriteString("response times at by far the highest cost; a small write buffer\n")

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/stats"
 )
 
@@ -25,18 +26,20 @@ func Fig41(o Options) (*stats.Figure, error) {
 		{"log-ssd", LogSpec{Kind: LogSSD}},
 		{"log-nvem", LogSpec{Kind: LogNVEM}},
 	}
-	for _, sc := range schemes {
-		var points []float64
-		for _, rate := range fig.X {
-			res, err := DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: sc.log}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.1 %s @%v: %w", sc.label, rate, err)
-			}
-			points = append(points, res.RespMean)
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, rate := schemes[si], fig.X[xi]
+		res, err := DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: sc.log}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.1 %s @%v: %w", sc.label, rate, err)
 		}
-		if err := fig.AddSeries(sc.label, points); err != nil {
-			return nil, err
-		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -72,18 +75,21 @@ func Fig42(o Options) (*stats.Figure, error) {
 		YLabel: "mean response time [ms]",
 		X:      o.rates(),
 	}
-	for _, sc := range dbSchemes42() {
-		var points []float64
-		for _, rate := range fig.X {
-			res, err := DCSetup{Rate: rate, DB: sc.DB, Log: sc.Log}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.2 %s @%v: %w", sc.Label, rate, err)
-			}
-			points = append(points, res.RespMean)
+	schemes := dbSchemes42()
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.Label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, rate := schemes[si], fig.X[xi]
+		res, err := DCSetup{Rate: rate, DB: sc.DB, Log: sc.Log}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.2 %s @%v: %w", sc.Label, rate, err)
 		}
-		if err := fig.AddSeries(sc.Label, points); err != nil {
-			return nil, err
-		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -106,24 +112,36 @@ func Fig43(o Options) (*stats.Figure, error) {
 		{"disk-cache-wb", DBSpec{Kind: DBDiskCacheWB, Size: 500}, LogSpec{Kind: LogDiskWB, Size: 500}},
 		{"nvem-resident", DBSpec{Kind: DBNVEMResident}, LogSpec{Kind: LogNVEM}},
 	}
+	type variant struct {
+		label string
+		force bool
+		db    DBSpec
+		log   LogSpec
+	}
+	var variants []variant
 	for _, sc := range schemes {
 		for _, force := range []bool{true, false} {
 			name := "NOFORCE"
 			if force {
 				name = "FORCE"
 			}
-			var points []float64
-			for _, rate := range fig.X {
-				res, err := DCSetup{Rate: rate, Force: force, DB: sc.db, Log: sc.log}.Run(o)
-				if err != nil {
-					return nil, fmt.Errorf("fig4.3 %s/%s @%v: %w", name, sc.label, rate, err)
-				}
-				points = append(points, res.RespMean)
-			}
-			if err := fig.AddSeries(name+":"+sc.label, points); err != nil {
-				return nil, err
-			}
+			variants = append(variants, variant{name + ":" + sc.label, force, sc.db, sc.log})
 		}
+	}
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		v, rate := variants[si], fig.X[xi]
+		res, err := DCSetup{Rate: rate, Force: v.force, DB: v.db, Log: v.log}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.3 %s @%v: %w", v.label, rate, err)
+		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -170,18 +188,21 @@ func Fig44(o Options) (*stats.Figure, error) {
 	for _, s := range sizes {
 		fig.X = append(fig.X, float64(s))
 	}
-	for _, sc := range cachingSchemes() {
-		var points []float64
-		for _, mm := range sizes {
-			res, err := DCSetup{Rate: 500, MMBuffer: mm, DB: sc.DB, Log: sc.Log}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.4 %s mm=%d: %w", sc.Label, mm, err)
-			}
-			points = append(points, res.RespMean)
+	schemes := cachingSchemes()
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.Label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, mm := schemes[si], sizes[xi]
+		res, err := DCSetup{Rate: 500, MMBuffer: mm, DB: sc.DB, Log: sc.Log}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.4 %s mm=%d: %w", sc.Label, mm, err)
 		}
-		if err := fig.AddSeries(sc.Label, points); err != nil {
-			return nil, err
-		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -221,26 +242,41 @@ func Table42(o Options, force bool) (*stats.Table, error) {
 	if !force {
 		specs = append(specs, rowSpec{DBSpec{Kind: DBNVEMCache, Size: 500}, LogSpec{Kind: LogNVEM}})
 	}
+	g := newGrid(o, len(specs), len(sizes))
 	for r, spec := range specs {
 		for c, mm := range sizes {
-			res, err := DCSetup{Rate: 500, Force: force, MMBuffer: mm, DB: spec.db, Log: spec.log}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("table4.2%s row %d mm=%d: %w", variant, r, mm, err)
-			}
-			if r == 0 {
-				tbl.Set(r, c, res.MMHitPct)
-				continue
-			}
-			// Second-level hits: NVEM cache hits from the buffer manager,
-			// disk-cache read hits from the unit (as a fraction of fixes).
-			switch spec.db.Kind {
-			case DBNVEMCache:
-				tbl.Set(r, c, res.NVEMAddHitPct)
-			default:
-				fixes := res.Buffer.Fixes
-				if fixes > 0 {
-					tbl.Set(r, c, 100*float64(res.Units[0].Stats.ReadHits)/float64(fixes))
+			g.add(r, c, func(o Options) (*core.Result, error) {
+				res, err := DCSetup{Rate: 500, Force: force, MMBuffer: mm, DB: spec.db, Log: spec.log}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("table4.2%s row %d mm=%d: %w", variant, r, mm, err)
 				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for r, spec := range specs {
+		// Row 0 is the main-memory hit ratio; the remaining rows are the
+		// ADDITIONAL second-level hits: NVEM cache hits from the buffer
+		// manager, disk-cache read hits from the unit (as a fraction of
+		// fixes).
+		metric := mmHitPct
+		switch {
+		case r == 0:
+		case spec.db.Kind == DBNVEMCache:
+			metric = nvemAddHitPct
+		default:
+			metric = unitReadHitPct
+		}
+		for c := range sizes {
+			mean, ci := cells[r][c].meanCI(metric)
+			if o.reps() > 1 {
+				tbl.SetCI(r, c, mean, ci)
+			} else {
+				tbl.Set(r, c, mean)
 			}
 		}
 	}
@@ -283,30 +319,37 @@ func Fig45(o Options) (*stats.Figure, *stats.Figure, error) {
 		{"nv-disk-cache", DBNVCache, LogSpec{Kind: LogDiskWB, Size: 500}},
 		{"nvem-cache", DBNVEMCache, LogSpec{Kind: LogNVEM}},
 	}
-	for _, sc := range schemes {
-		var resp, hits []float64
-		for _, size := range sizes {
-			res, err := DCSetup{
-				Rate: 500, MMBuffer: 500,
-				DB:  DBSpec{Kind: sc.kind, Size: size},
-				Log: sc.log,
-			}.Run(o)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig4.5 %s size=%d: %w", sc.label, size, err)
-			}
-			resp = append(resp, res.RespMean)
-			if sc.kind == DBNVEMCache {
-				hits = append(hits, res.NVEMAddHitPct)
-			} else if res.Buffer.Fixes > 0 {
-				hits = append(hits, 100*float64(res.Units[0].Stats.ReadHits)/float64(res.Buffer.Fixes))
-			} else {
-				hits = append(hits, 0)
-			}
+	g := newGrid(o, len(schemes), len(sizes))
+	for si, sc := range schemes {
+		for xi, size := range sizes {
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				res, err := DCSetup{
+					Rate: 500, MMBuffer: 500,
+					DB:  DBSpec{Kind: sc.kind, Size: size},
+					Log: sc.log,
+				}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("fig4.5 %s size=%d: %w", sc.label, size, err)
+				}
+				return res, nil
+			})
 		}
-		if err := respFig.AddSeries(sc.label, resp); err != nil {
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, sc := range schemes {
+		resp, respCI := seriesOf(cells[si], respMean)
+		hitMetric := unitReadHitPct
+		if sc.kind == DBNVEMCache {
+			hitMetric = nvemAddHitPct
+		}
+		hits, hitCI := seriesOf(cells[si], hitMetric)
+		if err := respFig.AddSeriesCI(sc.label, resp, respCI); err != nil {
 			return nil, nil, err
 		}
-		if err := hitFig.AddSeries(sc.label, hits); err != nil {
+		if err := hitFig.AddSeriesCI(sc.label, hits, hitCI); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -159,18 +159,20 @@ func Fig46(o Options) (*stats.Figure, error) {
 		{"ssd", DBSpec{Kind: DBSSD}, LogSpec{Kind: LogDiskWB, Size: 500}},
 		{"nvem-resident", DBSpec{Kind: DBNVEMResident}, LogSpec{Kind: LogNVEM}},
 	}
-	for _, sc := range schemes {
-		var points []float64
-		for _, mm := range sizes {
-			res, err := TraceSetup{MMBuffer: mm, DB: sc.db, Log: sc.log}.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.6 %s mm=%d: %w", sc.label, mm, err)
-			}
-			points = append(points, res.RespMean)
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, mm := schemes[si], sizes[xi]
+		res, err := TraceSetup{MMBuffer: mm, DB: sc.db, Log: sc.log}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.6 %s mm=%d: %w", sc.label, mm, err)
 		}
-		if err := fig.AddSeries(sc.label, points); err != nil {
-			return nil, err
-		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -204,25 +206,27 @@ func Fig47(o Options) (*stats.Figure, error) {
 		{"nv-disk-cache", DBNVCache, LogSpec{Kind: LogDiskWB, Size: 500}},
 		{"nvem-cache", DBNVEMCache, LogSpec{Kind: LogNVEM}},
 	}
-	for _, sc := range schemes {
-		var points []float64
-		for _, size := range sizes {
-			setup := TraceSetup{MMBuffer: 1000, Log: sc.log}
-			if size == 0 {
-				setup.DB = DBSpec{Kind: DBRegular}
-				setup.Log = LogSpec{Kind: LogDisk}
-			} else {
-				setup.DB = DBSpec{Kind: sc.kind, Size: size}
-			}
-			res, err := setup.Run(o)
-			if err != nil {
-				return nil, fmt.Errorf("fig4.7 %s size=%d: %w", sc.label, size, err)
-			}
-			points = append(points, res.RespMean)
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, size := schemes[si], sizes[xi]
+		setup := TraceSetup{MMBuffer: 1000, Log: sc.log}
+		if size == 0 {
+			setup.DB = DBSpec{Kind: DBRegular}
+			setup.Log = LogSpec{Kind: LogDisk}
+		} else {
+			setup.DB = DBSpec{Kind: sc.kind, Size: size}
 		}
-		if err := fig.AddSeries(sc.label, points); err != nil {
-			return nil, err
+		res, err := setup.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4.7 %s size=%d: %w", sc.label, size, err)
 		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

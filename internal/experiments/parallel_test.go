@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// wideParallelism oversubscribes the pool relative to the host so the
+// concurrent path is exercised even on single-core CI runners.
+func wideParallelism() int {
+	p := 2 * runtime.GOMAXPROCS(0)
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+func TestRunPoolRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		counts := make([]int, n)
+		runPool(workers, n, func(i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunPoolZeroJobs(t *testing.T) {
+	runPool(8, 0, func(i int) { t.Fatalf("job %d must not run", i) })
+}
+
+// TestGridSeedDerivation: replication r of every cell must run with
+// rng.Derive(base, r), independent of worker count.
+func TestGridSeedDerivation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		o := Options{Seed: 11, Quick: true, Replications: 3, Parallelism: workers}
+		var mu sync.Mutex
+		seen := map[int64]int{}
+		g := newGrid(o, 2, 2)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				g.add(r, c, func(o Options) (*core.Result, error) {
+					mu.Lock()
+					seen[o.Seed]++
+					mu.Unlock()
+					return &core.Result{Commits: o.Seed}, nil
+				})
+			}
+		}
+		cells, err := g.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ {
+			want := rng.Derive(11, r)
+			if seen[want] != 4 {
+				t.Errorf("workers=%d: seed %d used %d times, want once per cell (4)",
+					workers, want, seen[want])
+			}
+		}
+		// Replication order inside each cell is preserved.
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				for rep, res := range cells[r][c].results {
+					if got, want := res.Commits, rng.Derive(11, rep); got != want {
+						t.Errorf("cell(%d,%d) rep %d ran with seed %d, want %d", r, c, rep, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridFirstErrorDeterministic: the reported error is the lowest-indexed
+// failure regardless of scheduling.
+func TestGridFirstErrorDeterministic(t *testing.T) {
+	o := Options{Quick: true, Parallelism: 8}
+	g := newGrid(o, 1, 3)
+	for c := 0; c < 3; c++ {
+		g.add(0, c, func(Options) (*core.Result, error) {
+			if c >= 1 {
+				return nil, errors.New("boom-" + string(rune('0'+c)))
+			}
+			return &core.Result{}, nil
+		})
+	}
+	_, err := g.run()
+	if err == nil || err.Error() != "boom-1" {
+		t.Fatalf("got error %v, want boom-1", err)
+	}
+}
+
+// TestDeterministicAcrossParallelism is the determinism regression gate:
+// every experiment in the registry renders byte-identical output between a
+// serial run and an oversubscribed parallel run at the same seed (which also
+// covers run-to-run determinism, since the two runs share nothing).
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	serial := Options{Quick: true, Seed: 7, Parallelism: 1}
+	parallel := Options{Quick: true, Seed: 7, Parallelism: wideParallelism()}
+	for _, e := range All() {
+		t.Run(e.Name, func(t *testing.T) {
+			a, err := e.Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := e.Run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("output differs between Parallelism 1 and %d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					parallel.Parallelism, a, b)
+			}
+		})
+	}
+}
+
+// TestDeterministicReplicated: replicated runs (mean ± CI output) are also
+// byte-identical across worker counts.
+func TestDeterministicReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	serial := Options{Quick: true, Seed: 3, Replications: 3, Parallelism: 1}
+	parallel := serial
+	parallel.Parallelism = wideParallelism()
+	fa, err := Fig41(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fig41(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fa.Render(), fb.Render()
+	if a != b {
+		t.Errorf("replicated output differs across parallelism:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "±") {
+		t.Errorf("replicated figure missing ± columns:\n%s", a)
+	}
+}
+
+// TestReplicationsWidenNoCIAtOne: a single replication must not change the
+// rendered output format (no ± columns).
+func TestReplicationsWidenNoCIAtOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	fig, err := AblationMigrationModes(Options{Quick: true, Seed: 5, Parallelism: wideParallelism()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fig.Render(); strings.Contains(out, "±") {
+		t.Errorf("single-replication figure must not render ±:\n%s", out)
+	}
+}
+
+// TestConcurrentExperimentsRace is the race-detector smoke test: distinct
+// experiments sharing the process (and the lazily built real-life trace) run
+// concurrently, each fanning out its own worker pool.
+func TestConcurrentExperimentsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	o := Options{Quick: true, Seed: 9, Parallelism: 2}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = AblationDestagePolicy(o)
+	}()
+	go func() {
+		defer wg.Done()
+		// Trace-driven: touches the shared sync.Once real-life trace.
+		_, errs[1] = AblationMigrationModes(o)
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent experiment %d: %v", i, err)
+		}
+	}
+}

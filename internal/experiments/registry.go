@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -186,10 +187,37 @@ func ByName(name string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	var names []string
-	for _, e := range All() {
-		names = append(names, e.Name)
-	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
-		name, strings.Join(names, ", "))
+		name, strings.Join(names(), ", "))
+}
+
+// Match returns the experiments whose id matches the anchored regular
+// expression pattern, in registry order. A plain id like "fig4.1" selects
+// that single experiment; "fig4\..*" selects all figures. It is an error
+// when the pattern is invalid or matches nothing.
+func Match(pattern string) ([]Experiment, error) {
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bad pattern %q: %v", pattern, err)
+	}
+	var out []Experiment
+	for _, e := range All() {
+		if re.MatchString(e.Name) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no experiment matches %q (known: %s)",
+			pattern, strings.Join(names(), ", "))
+	}
+	return out, nil
+}
+
+// names lists every experiment id.
+func names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
 }

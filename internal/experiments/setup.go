@@ -21,6 +21,17 @@ import (
 type Options struct {
 	Seed  int64
 	Quick bool
+
+	// Replications is the number of independent runs per simulation point.
+	// Replication r runs with seed rng.Derive(Seed, r), and figures and
+	// tables report the replication mean ± its 95% confidence interval.
+	// 0 or 1 means a single run with unchanged output.
+	Replications int
+
+	// Parallelism caps the number of simulation runs executing concurrently
+	// inside one experiment. 0 means GOMAXPROCS. Rendered output is
+	// byte-identical for every value, including 1.
+	Parallelism int
 }
 
 func (o Options) seed() int64 {

@@ -23,6 +23,29 @@ func NewStream(seed int64, component string) *Stream {
 	return &Stream{r: rand.New(rand.NewSource(seed ^ int64(h)))}
 }
 
+// Derive maps a base seed and a replication index to the seed of that
+// replicated run. Index 0 returns the base seed itself, so a single
+// replication reproduces the unreplicated run exactly; higher indices are
+// decorrelated through a SplitMix64 finalizer. The mapping depends only on
+// (base, runIndex) — never on worker count or scheduling order — which is
+// what makes replicated parallel experiments byte-identical to serial ones.
+func Derive(base int64, runIndex int) int64 {
+	if runIndex == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(runIndex)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	out := int64(z)
+	if out == 0 {
+		out = 1 // 0 means "use the default seed" to callers; avoid colliding
+	}
+	return out
+}
+
 // fnv64 hashes a component name (FNV-1a) to derive substream seeds.
 func fnv64(s string) uint64 {
 	const (

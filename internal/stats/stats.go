@@ -102,6 +102,44 @@ func (s *Summary) CI95() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
 }
 
+// tCrit95 holds two-tailed 95% Student-t critical values for 1..30 degrees
+// of freedom; larger samples use the normal approximation (1.96). Replicated
+// experiments have few replications, so the t correction matters there.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of values and the half-width of its 95%
+// confidence interval using the Student-t distribution (replications are
+// few, so the normal approximation would be too tight). Fewer than two
+// values yield a zero half-width.
+func MeanCI95(values []float64) (mean, half float64) {
+	n := len(values)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var m2 float64
+	for _, v := range values {
+		d := v - mean
+		m2 += d * d
+	}
+	sd := math.Sqrt(m2 / float64(n-1))
+	t := 1.96
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
+
 // Percentile returns the p-quantile (0 <= p <= 1) of retained values. It
 // panics if the summary was created without keepValues.
 func (s *Summary) Percentile(p float64) float64 {

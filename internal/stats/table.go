@@ -10,6 +10,9 @@ import (
 type Series struct {
 	Label  string
 	Points []float64
+	// CI holds the 95%-confidence half-widths of replicated points; nil for
+	// single-run series. When present, cells render as "mean±ci".
+	CI []float64
 }
 
 // Figure collects several series over one x-axis and renders them as the
@@ -24,10 +27,19 @@ type Figure struct {
 
 // AddSeries appends a curve. The number of points must match the x-axis.
 func (f *Figure) AddSeries(label string, points []float64) error {
+	return f.AddSeriesCI(label, points, nil)
+}
+
+// AddSeriesCI appends a curve with per-point 95%-confidence half-widths
+// from replicated runs. A nil ci is a single-run series.
+func (f *Figure) AddSeriesCI(label string, points, ci []float64) error {
 	if len(points) != len(f.X) {
 		return fmt.Errorf("stats: series %q has %d points, axis has %d", label, len(points), len(f.X))
 	}
-	f.Series = append(f.Series, Series{Label: label, Points: points})
+	if ci != nil && len(ci) != len(points) {
+		return fmt.Errorf("stats: series %q has %d CI values for %d points", label, len(ci), len(points))
+	}
+	f.Series = append(f.Series, Series{Label: label, Points: points, CI: ci})
 	return nil
 }
 
@@ -54,7 +66,7 @@ func (f *Figure) Render() string {
 		row := make([]string, len(headers))
 		row[0] = trimNum(f.X[r])
 		for c, s := range f.Series {
-			row[c+1] = fmt.Sprintf("%.2f", s.Points[r])
+			row[c+1] = cellText(s.Points[r], s.CI, r, "%.2f")
 		}
 		for c, cell := range row {
 			if len(cell) > widths[c] {
@@ -80,6 +92,15 @@ func (f *Figure) Render() string {
 	return b.String()
 }
 
+// cellText formats one cell, appending "±ci" when the series carries
+// replication confidence intervals.
+func cellText(v float64, ci []float64, i int, format string) string {
+	if ci == nil {
+		return fmt.Sprintf(format, v)
+	}
+	return fmt.Sprintf(format+"±"+format, v, ci[i])
+}
+
 // trimNum formats an x-axis value without trailing zeros.
 func trimNum(v float64) string {
 	s := fmt.Sprintf("%.2f", v)
@@ -96,6 +117,10 @@ type Table struct {
 	Columns []string
 	RowLbls []string
 	Cells   [][]float64
+	// CIs holds per-cell 95%-confidence half-widths from replicated runs;
+	// nil until SetCI is first called. When present, cells render as
+	// "mean±ci".
+	CIs [][]float64
 }
 
 // NewTable allocates a table of the given shape with zeroed cells.
@@ -109,6 +134,19 @@ func NewTable(title, corner string, rows, cols []string) *Table {
 
 // Set writes one cell.
 func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+// SetCI writes one cell together with the 95%-confidence half-width of its
+// replicated mean.
+func (t *Table) SetCI(row, col int, v, ci float64) {
+	if t.CIs == nil {
+		t.CIs = make([][]float64, len(t.RowLbls))
+		for i := range t.CIs {
+			t.CIs[i] = make([]float64, len(t.Columns))
+		}
+	}
+	t.Cells[row][col] = v
+	t.CIs[row][col] = ci
+}
 
 // Render produces an aligned text table.
 func (t *Table) Render() string {
@@ -124,7 +162,11 @@ func (t *Table) Render() string {
 		row := make([]string, len(headers))
 		row[0] = lbl
 		for c := range t.Columns {
-			row[c+1] = fmt.Sprintf("%.1f", t.Cells[r][c])
+			var rowCI []float64
+			if t.CIs != nil {
+				rowCI = t.CIs[r]
+			}
+			row[c+1] = cellText(t.Cells[r][c], rowCI, c, "%.1f")
 		}
 		for c, cell := range row {
 			if len(cell) > widths[c] {
