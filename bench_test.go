@@ -10,7 +10,6 @@
 package tpsim_test
 
 import (
-	"runtime"
 	"testing"
 
 	"repro"
@@ -155,8 +154,7 @@ func BenchmarkFig42DBAllocationSerial(b *testing.B) {
 // sweep point (mean ± 95% CI), fanned out across all cores.
 func BenchmarkFig41Replicated(b *testing.B) {
 	opts := benchOpts
-	opts.Replications = 3
-	opts.Parallelism = runtime.GOMAXPROCS(0)
+	opts.Replications = 3 // Parallelism stays at its GOMAXPROCS default
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig41(opts); err != nil {
 			b.Fatal(err)
@@ -241,13 +239,21 @@ func BenchmarkEngineDebitCreditNVEM(b *testing.B) {
 
 // --- substrate micro-benchmarks ---
 
-// BenchmarkSimKernel measures raw event throughput of the DES kernel.
+// BenchmarkSimKernel measures raw event throughput of the DES kernel: one
+// Hold → continuation cycle per iteration.
 func BenchmarkSimKernel(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	s.Spawn("ticker", 0, func(p *sim.Process) {
-		for i := 0; i < b.N; i++ {
-			p.Hold(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			if n < b.N {
+				n++
+				p.Hold(1, tick)
+			}
 		}
+		tick()
 	})
 	b.ResetTimer()
 	s.RunAll()
@@ -255,11 +261,33 @@ func BenchmarkSimKernel(b *testing.B) {
 
 // BenchmarkSimResource measures acquire/hold/release cycles.
 func BenchmarkSimResource(b *testing.B) {
+	b.ReportAllocs()
 	s := sim.New()
 	r := s.NewResource("dev", 2)
 	s.Spawn("user", 0, func(p *sim.Process) {
+		n := 0
+		var cycle func()
+		cycle = func() {
+			if n < b.N {
+				n++
+				r.Use(p, 0.5, cycle)
+			}
+		}
+		cycle()
+	})
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkSimBlockingShim measures the goroutine-backed compatibility shim
+// for comparison with BenchmarkSimKernel (the cost the continuation kernel
+// removed from the hot path).
+func BenchmarkSimBlockingShim(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	s.SpawnBlocking("ticker", 0, func(bp *sim.BlockingProcess) {
 		for i := 0; i < b.N; i++ {
-			r.Use(p, 0.5)
+			bp.Hold(1)
 		}
 	})
 	b.ResetTimer()

@@ -15,19 +15,27 @@ import (
 // Host is the buffer manager's view of the computing module. The engine
 // implements it: CPU overhead per I/O (InstrIO), the CPU-synchronous NVEM
 // page transfer (InstrNVEM + NVEM delay with the CPU held), and spawning of
-// asynchronous writer processes.
+// asynchronous writer processes. All delay-charging methods are
+// continuation-style: they run k once the charged simulated time has
+// elapsed.
 type Host interface {
-	// IOOverhead charges the CPU overhead of one I/O to process p.
-	IOOverhead(p *sim.Process)
-	// SyncDeviceIO charges the I/O overhead and runs the device access fn
-	// with the CPU held (AccessMode=synchronous, Table 3.3).
-	SyncDeviceIO(p *sim.Process, fn func())
+	// IOOverhead charges the CPU overhead of one I/O to process p, then
+	// runs k.
+	IOOverhead(p *sim.Process, k func())
+	// SyncDeviceIO charges the I/O overhead and runs the device access dev
+	// with the CPU held (AccessMode=synchronous, Table 3.3); dev must call
+	// its argument when the device completes, after which the CPU is
+	// released and k runs.
+	SyncDeviceIO(p *sim.Process, dev func(done func()), k func())
 	// NVEMTransfer performs one page transfer between main memory and NVEM
-	// with the CPU held (synchronous access, section 2).
-	NVEMTransfer(p *sim.Process)
+	// with the CPU held (synchronous access, section 2), then runs k.
+	NVEMTransfer(p *sim.Process, k func())
 	// SpawnAsync starts a background process (asynchronous disk updates).
 	SpawnAsync(name string, fn func(p *sim.Process))
 }
+
+// nop is the terminal continuation of asynchronous writer processes.
+func nop() {}
 
 // Stats are the buffer manager's counters.
 type Stats struct {
@@ -83,7 +91,7 @@ type Manager struct {
 
 	logPartition int
 	logNext      int64
-	gcWaiters    []*sim.Process
+	gcWaiters    []func()
 
 	stats     Stats
 	partStats []PartitionStats
@@ -147,12 +155,13 @@ func (m *Manager) unitOf(partition int) *storage.DiskUnit {
 }
 
 // Fix brings the page into the main-memory buffer on behalf of process p
-// and marks it dirty if write is set. It blocks p for whatever the storage
-// hierarchy charges: nothing on an MM hit, an NVEM transfer on an NVEM hit,
-// or a device read (plus a possible synchronous victim write-back) on a full
-// miss. TPSIM replaces synchronously — asynchronous replacement is exactly
-// the optimization the paper shows NV memory makes unnecessary (footnote 3).
-func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool) {
+// and marks it dirty if write is set, then runs k. It delays p for whatever
+// the storage hierarchy charges: nothing on an MM hit, an NVEM transfer on
+// an NVEM hit, or a device read (plus a possible synchronous victim
+// write-back) on a full miss. TPSIM replaces synchronously — asynchronous
+// replacement is exactly the optimization the paper shows NV memory makes
+// unnecessary (footnote 3).
+func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool, k func()) {
 	m.stats.Fixes++
 	ps := &m.partStats[key.Partition]
 	ps.Fixes++
@@ -163,6 +172,7 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool) {
 		m.stats.MMHits++
 		m.stats.ResidentFixes++
 		ps.MMHits++
+		k()
 		return
 	}
 
@@ -172,6 +182,7 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool) {
 		if write && !f.dirty {
 			m.mm.Update(key, frame{dirty: true})
 		}
+		k()
 		return
 	}
 
@@ -198,51 +209,54 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool) {
 	// are paid afterwards.
 	victim, victimDirty, haveVictim := m.reserveFrame()
 	m.mm.Put(key, frame{dirty: write || nvemDirty})
-	if haveVictim {
-		m.disposeVictim(p, victim, victimDirty)
-	}
-
-	switch {
-	case a.NVEMResident:
-		m.stats.NVEMReads++
-		m.host.NVEMTransfer(p)
-	case nvemHit:
-		m.stats.NVEMCacheHits++
-		ps.NVEMHits++
-		m.host.NVEMTransfer(p)
-		if m.cfg.Force {
-			// FORCE: replication is unavoidable (section 3.2); keep the
-			// NVEM copy, refresh its recency.
-			m.nvemCache.Touch(key)
+	fetch := func() {
+		switch {
+		case a.NVEMResident:
+			m.stats.NVEMReads++
+			m.host.NVEMTransfer(p, k)
+		case nvemHit:
+			m.stats.NVEMCacheHits++
+			ps.NVEMHits++
+			m.host.NVEMTransfer(p, func() {
+				if m.cfg.Force {
+					// FORCE: replication is unavoidable (section 3.2); keep
+					// the NVEM copy, refresh its recency.
+					m.nvemCache.Touch(key)
+				}
+				k()
+			})
+		default:
+			m.stats.DeviceReads++
+			m.deviceRead(p, key, k)
 		}
-	default:
-		m.stats.DeviceReads++
-		m.deviceRead(p, key)
 	}
+	if haveVictim {
+		m.disposeVictim(p, victim, victimDirty, fetch)
+		return
+	}
+	fetch()
 }
 
 // deviceRead reads a page from its partition's disk-unit, honouring the
 // partition's access mode (synchronous access keeps the CPU busy).
-func (m *Manager) deviceRead(p *sim.Process, key storage.PageKey) {
+func (m *Manager) deviceRead(p *sim.Process, key storage.PageKey, k func()) {
 	unit := m.unitOf(key.Partition)
 	if m.alloc(key.Partition).SyncAccess {
-		m.host.SyncDeviceIO(p, func() { unit.Read(p, key) })
+		m.host.SyncDeviceIO(p, func(done func()) { unit.Read(p, key, done) }, k)
 		return
 	}
-	m.host.IOOverhead(p)
-	unit.Read(p, key)
+	m.host.IOOverhead(p, func() { unit.Read(p, key, k) })
 }
 
 // devicePartitionWrite writes a page to its partition's disk-unit,
 // honouring the partition's access mode.
-func (m *Manager) devicePartitionWrite(p *sim.Process, key storage.PageKey) {
+func (m *Manager) devicePartitionWrite(p *sim.Process, key storage.PageKey, k func()) {
 	unit := m.unitOf(key.Partition)
 	if m.alloc(key.Partition).SyncAccess {
-		m.host.SyncDeviceIO(p, func() { unit.Write(p, key) })
+		m.host.SyncDeviceIO(p, func(done func()) { unit.Write(p, key, done) }, k)
 		return
 	}
-	m.host.IOOverhead(p)
-	unit.Write(p, key)
+	m.host.IOOverhead(p, func() { unit.Write(p, key, k) })
 }
 
 // nvemCacheHas probes the NVEM cache without touching recency (recency is
@@ -278,7 +292,8 @@ func (m *Manager) reserveFrame() (victim storage.PageKey, dirty, haveVictim bool
 // disposeVictim routes a replaced page according to its partition's
 // allocation: into the NVEM cache (with asynchronous disk update for dirty
 // pages), through the NVEM write buffer, or synchronously to the device.
-func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool) {
+// k runs once the victim stops delaying p.
+func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool, k func()) {
 	a := m.alloc(key.Partition)
 
 	if a.NVEMCache && m.nvemCache != nil {
@@ -286,7 +301,7 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool)
 			(dirty && a.NVEMCacheMode == MigrateModified) ||
 			(!dirty && a.NVEMCacheMode == MigrateUnmodified)
 		if migrate {
-			m.migrateToNVEM(p, key, dirty)
+			m.migrateToNVEM(p, key, dirty, k)
 			return
 		}
 	}
@@ -294,18 +309,20 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool)
 	if !dirty {
 		if a.NVEMResident {
 			// Nothing to do: the permanent copy is in NVEM already.
+			k()
 			return
 		}
 		m.stats.CleanDrops++
+		k()
 		return
 	}
 
 	switch {
 	case a.NVEMResident:
 		// Write the page back to its NVEM home (synchronous, fast).
-		m.host.NVEMTransfer(p)
+		m.host.NVEMTransfer(p, k)
 	case a.NVEMWriteBuffer:
-		m.writeViaWB(p, key)
+		m.writeViaWB(p, key, k)
 	case m.cfg.AsyncReplacement:
 		// Footnote 3's software optimization: the replacement write happens
 		// in the background; only the read delays the transaction.
@@ -313,14 +330,14 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool)
 		unit := m.unitOf(key.Partition)
 		m.host.SpawnAsync("async-replace", func(ap *sim.Process) {
 			m.stats.AsyncDiskWrites++
-			m.host.IOOverhead(ap)
-			unit.Write(ap, key)
+			m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
 		})
+		k()
 	default:
 		// Device write before the read can proceed (the transaction waits
 		// for it either way; SyncAccess additionally holds the CPU).
 		m.stats.VictimWrites++
-		m.devicePartitionWrite(p, key)
+		m.devicePartitionWrite(p, key, k)
 	}
 }
 
@@ -331,13 +348,15 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool)
 // eviction is a drop. Under deferred destage the page stays dirty in NVEM
 // and the disk write happens only when NVEM evicts it (paying an extra
 // NVEM→MM transfer then), saving disk writes for re-modified pages.
-func (m *Manager) migrateToNVEM(p *sim.Process, key storage.PageKey, dirty bool) {
+func (m *Manager) migrateToNVEM(p *sim.Process, key storage.PageKey, dirty bool, k func()) {
 	m.stats.VictimToNVEM++
-	m.host.NVEMTransfer(p)
-	m.putNVEM(key, dirty)
-	if dirty && !m.cfg.NVEMDeferredDestage {
-		m.startAsyncWrite(key)
-	}
+	m.host.NVEMTransfer(p, func() {
+		m.putNVEM(key, dirty)
+		if dirty && !m.cfg.NVEMDeferredDestage {
+			m.startAsyncWrite(key)
+		}
+		k()
+	})
 }
 
 // putNVEM inserts into the NVEM cache, destaging an evicted deferred-dirty
@@ -355,10 +374,10 @@ func (m *Manager) putNVEM(key storage.PageKey, dirty bool) {
 	m.host.SpawnAsync("nvem-evict-destage", func(ap *sim.Process) {
 		// The page must pass through main memory on its way to disk
 		// (section 2: NVEM↔disk transfers go through the accessing system).
-		m.host.NVEMTransfer(ap)
-		m.stats.AsyncDiskWrites++
-		m.host.IOOverhead(ap)
-		unit.Write(ap, evictedKey)
+		m.host.NVEMTransfer(ap, func() {
+			m.stats.AsyncDiskWrites++
+			m.host.IOOverhead(ap, func() { unit.Write(ap, evictedKey, nop) })
+		})
 	})
 }
 
@@ -367,23 +386,24 @@ func (m *Manager) putNVEM(key storage.PageKey, dirty bool) {
 // asynchronously. When every write-buffer frame is still awaiting its disk
 // update, the write falls back to a synchronous device write (the same
 // saturation behaviour as a full non-volatile disk cache).
-func (m *Manager) writeViaWB(p *sim.Process, key storage.PageKey) {
+func (m *Manager) writeViaWB(p *sim.Process, key storage.PageKey, k func()) {
 	if m.wbInUse >= m.cfg.NVEMWriteBufferSize {
 		m.stats.WBFullSync++
 		m.stats.VictimWrites++
-		m.host.IOOverhead(p)
-		m.deviceWriteFor(p, key)
+		m.host.IOOverhead(p, func() { m.deviceWriteFor(p, key, k) })
 		return
 	}
 	m.wbInUse++
 	m.stats.VictimToWB++
-	m.host.NVEMTransfer(p)
-	unit := m.deviceUnitFor(key)
-	m.host.SpawnAsync("wb-destage", func(ap *sim.Process) {
-		m.stats.AsyncDiskWrites++
-		m.host.IOOverhead(ap)
-		unit.Write(ap, key)
-		m.wbInUse--
+	m.host.NVEMTransfer(p, func() {
+		unit := m.deviceUnitFor(key)
+		m.host.SpawnAsync("wb-destage", func(ap *sim.Process) {
+			m.stats.AsyncDiskWrites++
+			m.host.IOOverhead(ap, func() {
+				unit.Write(ap, key, func() { m.wbInUse-- })
+			})
+		})
+		k()
 	})
 }
 
@@ -396,8 +416,8 @@ func (m *Manager) deviceUnitFor(key storage.PageKey) *storage.DiskUnit {
 	return m.unitOf(key.Partition)
 }
 
-func (m *Manager) deviceWriteFor(p *sim.Process, key storage.PageKey) {
-	m.deviceUnitFor(key).Write(p, key)
+func (m *Manager) deviceWriteFor(p *sim.Process, key storage.PageKey, k func()) {
+	m.deviceUnitFor(key).Write(p, key, k)
 }
 
 // startAsyncWrite begins the immediate asynchronous disk update for a
@@ -406,8 +426,7 @@ func (m *Manager) startAsyncWrite(key storage.PageKey) {
 	unit := m.deviceUnitFor(key)
 	m.host.SpawnAsync("nvem-destage", func(ap *sim.Process) {
 		m.stats.AsyncDiskWrites++
-		m.host.IOOverhead(ap)
-		unit.Write(ap, key)
+		m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
 	})
 }
 
@@ -415,87 +434,107 @@ func (m *Manager) startAsyncWrite(key storage.PageKey) {
 // transaction modified is written to non-volatile storage, and its
 // main-memory copy becomes clean but stays buffered (replication with the
 // NVEM cache is accepted, section 3.2). Pages already replaced from the
-// buffer were written out at replacement and are skipped.
-func (m *Manager) ForcePages(p *sim.Process, keys []storage.PageKey) {
+// buffer were written out at replacement and are skipped. k runs once every
+// force write has completed.
+func (m *Manager) ForcePages(p *sim.Process, keys []storage.PageKey, k func()) {
 	if !m.cfg.Force {
+		k()
 		return
 	}
-	for _, key := range keys {
-		a := m.alloc(key.Partition)
-		if a.MMResident {
-			continue // memory-resident partitions use NOFORCE propagation
-		}
-		f, inMM := m.mm.Peek(key)
-		if inMM && !f.dirty {
-			continue // already forced by an earlier access of this txn
-		}
-		if !inMM {
-			continue // replaced earlier; written out during replacement
-		}
-		m.stats.ForceWrites++
-		switch {
-		case a.NVEMResident:
-			m.host.NVEMTransfer(p)
-		case a.NVEMCache && m.nvemCache != nil:
-			// Force into the NVEM cache; MM copy stays (replication).
-			// Deferred destage pays off exactly here: re-forced pages
-			// overwrite their dirty NVEM copy without another disk write.
-			m.host.NVEMTransfer(p)
-			m.putNVEM(key, true)
-			if !m.cfg.NVEMDeferredDestage {
-				m.startAsyncWrite(key)
+	i := 0
+	var step func()
+	step = func() {
+		for i < len(keys) {
+			key := keys[i]
+			i++
+			a := m.alloc(key.Partition)
+			if a.MMResident {
+				continue // memory-resident partitions use NOFORCE propagation
 			}
-		case a.NVEMWriteBuffer:
-			m.writeViaWB(p, key)
-		default:
-			m.devicePartitionWrite(p, key)
+			f, inMM := m.mm.Peek(key)
+			if inMM && !f.dirty {
+				continue // already forced by an earlier access of this txn
+			}
+			if !inMM {
+				continue // replaced earlier; written out during replacement
+			}
+			m.stats.ForceWrites++
+			after := func() {
+				m.mm.Update(key, frame{dirty: false})
+				step()
+			}
+			switch {
+			case a.NVEMResident:
+				m.host.NVEMTransfer(p, after)
+			case a.NVEMCache && m.nvemCache != nil:
+				// Force into the NVEM cache; MM copy stays (replication).
+				// Deferred destage pays off exactly here: re-forced pages
+				// overwrite their dirty NVEM copy without another disk write.
+				m.host.NVEMTransfer(p, func() {
+					m.putNVEM(key, true)
+					if !m.cfg.NVEMDeferredDestage {
+						m.startAsyncWrite(key)
+					}
+					after()
+				})
+			case a.NVEMWriteBuffer:
+				m.writeViaWB(p, key, after)
+			default:
+				m.devicePartitionWrite(p, key, after)
+			}
+			return
 		}
-		m.mm.Update(key, frame{dirty: false})
+		k()
 	}
+	step()
 }
 
 // WriteLog implements the commit log write: one page per update transaction
-// (section 3.2), appended sequentially and routed by the log allocation.
-// Under group commit the caller joins the open group and blocks until the
-// group's single shared log write completes.
-func (m *Manager) WriteLog(p *sim.Process) {
+// (section 3.2), appended sequentially and routed by the log allocation,
+// with k running once the write is durable. Under group commit the caller
+// joins the open group and k waits for the group's single shared log write.
+func (m *Manager) WriteLog(p *sim.Process, k func()) {
 	if !m.cfg.Logging {
+		k()
 		return
 	}
 	if !m.cfg.GroupCommit {
-		m.writeLogPage(p)
+		m.writeLogPage(p, k)
 		return
 	}
-	m.gcWaiters = append(m.gcWaiters, p)
+	m.gcWaiters = append(m.gcWaiters, k)
 	if len(m.gcWaiters) == 1 {
 		// Group leader: open the group and flush it after the group window.
 		m.host.SpawnAsync("group-commit", func(ap *sim.Process) {
-			ap.Hold(m.cfg.GroupCommitWaitMS)
-			waiters := m.gcWaiters
-			m.gcWaiters = nil
-			m.stats.GroupCommits++
-			m.writeLogPage(ap) // one I/O carries the whole group's log data
-			for _, w := range waiters {
-				ap.Sim().Activate(w, 0)
-			}
+			ap.Hold(m.cfg.GroupCommitWaitMS, func() {
+				waiters := m.gcWaiters
+				m.gcWaiters = nil
+				m.stats.GroupCommits++
+				// One I/O carries the whole group's log data.
+				m.writeLogPage(ap, func() {
+					for _, w := range waiters {
+						ap.Sim().Schedule(0, w)
+					}
+				})
+			})
 		})
 	}
-	p.Passivate()
 }
 
-// writeLogPage performs one physical log page write.
-func (m *Manager) writeLogPage(p *sim.Process) {
+// writeLogPage performs one physical log page write, then k.
+func (m *Manager) writeLogPage(p *sim.Process, k func()) {
 	m.stats.LogWrites++
 	key := storage.PageKey{Partition: m.logPartition, Page: m.logNext}
 	m.logNext++
 	switch {
 	case m.cfg.Log.NVEMResident:
-		m.host.NVEMTransfer(p)
+		m.host.NVEMTransfer(p, k)
 	case m.cfg.Log.NVEMWriteBuffer:
-		m.writeViaWB(p, key)
+		m.writeViaWB(p, key, k)
 	default:
-		m.host.IOOverhead(p)
-		m.units[m.cfg.Log.DiskUnit].Write(p, key)
+		m.host.IOOverhead(p, func() {
+			m.units[m.cfg.Log.DiskUnit].Write(p, key, k)
+		})
 	}
 }
 

@@ -18,17 +18,25 @@ type testHost struct {
 	nvemCalls int
 }
 
-func (h *testHost) IOOverhead(*sim.Process) { h.ioCalls++ }
-func (h *testHost) SyncDeviceIO(p *sim.Process, fn func()) {
-	h.syncCalls++
-	fn()
+func (h *testHost) IOOverhead(_ *sim.Process, k func()) {
+	h.ioCalls++
+	k()
 }
-func (h *testHost) NVEMTransfer(p *sim.Process) {
+
+func (h *testHost) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
+	h.syncCalls++
+	dev(k)
+}
+
+func (h *testHost) NVEMTransfer(p *sim.Process, k func()) {
 	h.nvemCalls++
 	if h.nvem != nil {
-		h.nvem.Access(p)
+		h.nvem.Access(p, k)
+		return
 	}
+	k()
 }
+
 func (h *testHost) SpawnAsync(name string, fn func(p *sim.Process)) {
 	h.s.Spawn(name, 0, fn)
 }
@@ -43,6 +51,20 @@ type rig struct {
 
 func key(part int, page int64) storage.PageKey {
 	return storage.PageKey{Partition: part, Page: page}
+}
+
+// fixB, forceB and writeLogB drive the manager's continuation API
+// blocking-style from test scripts.
+func fixB(b *sim.BlockingProcess, m *Manager, k storage.PageKey, write bool) {
+	b.Await(func(done func()) { m.Fix(b.Proc(), k, write, done) })
+}
+
+func forceB(b *sim.BlockingProcess, m *Manager, keys ...storage.PageKey) {
+	b.Await(func(done func()) { m.ForcePages(b.Proc(), keys, done) })
+}
+
+func writeLogB(b *sim.BlockingProcess, m *Manager) {
+	b.Await(func(done func()) { m.WriteLog(b.Proc(), done) })
 }
 
 // newRig builds a one-partition, one-disk-unit setup with the given buffer
@@ -78,9 +100,10 @@ func newRig(t *testing.T, cfg Config) *rig {
 	return &rig{s: s, host: host, m: m, unit: unit}
 }
 
-// drive runs fn inside a single simulation process and completes all events.
-func (r *rig) drive(fn func(p *sim.Process)) {
-	r.s.Spawn("driver", 0, fn)
+// drive runs fn as a blocking-style simulation process and completes all
+// events.
+func (r *rig) drive(fn func(b *sim.BlockingProcess)) {
+	r.s.SpawnBlocking("driver", 0, fn)
 	r.s.RunAll()
 }
 
@@ -95,10 +118,10 @@ func baseCfg() Config {
 
 func TestMMHitMiss(t *testing.T) {
 	r := newRig(t, baseCfg())
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), false) // miss
-		r.m.Fix(p, key(0, 1), false) // hit
-		r.m.Fix(p, key(0, 2), false) // miss
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), false) // miss
+		fixB(b, r.m, key(0, 1), false) // hit
+		fixB(b, r.m, key(0, 2), false) // miss
 	})
 	st := r.m.Stats()
 	if st.Fixes != 3 || st.MMHits != 1 || st.DeviceReads != 2 {
@@ -111,11 +134,11 @@ func TestMMHitMiss(t *testing.T) {
 
 func TestLRUReplacementCleanVictim(t *testing.T) {
 	r := newRig(t, baseCfg())
-	r.drive(func(p *sim.Process) {
+	r.drive(func(b *sim.BlockingProcess) {
 		for page := int64(1); page <= 4; page++ { // buffer holds 3
-			r.m.Fix(p, key(0, page), false)
+			fixB(b, r.m, key(0, page), false)
 		}
-		r.m.Fix(p, key(0, 1), false) // page 1 was evicted: miss again
+		fixB(b, r.m, key(0, 1), false) // page 1 was evicted: miss again
 	})
 	st := r.m.Stats()
 	if st.DeviceReads != 5 {
@@ -130,23 +153,23 @@ func TestDirtyVictimSynchronousWriteBack(t *testing.T) {
 	r := newRig(t, baseCfg())
 	var dirtyMiss, cleanMiss sim.Time
 	const rounds = 200
-	r.drive(func(p *sim.Process) {
+	r.drive(func(b *sim.BlockingProcess) {
 		// Dirty working set: every miss evicts a dirty page (sync write +
 		// read, ~32.8 ms average).
 		for i := int64(0); i < rounds; i++ {
-			start := p.Now()
-			r.m.Fix(p, key(0, i), true)
-			dirtyMiss += p.Now() - start
+			start := b.Now()
+			fixB(b, r.m, key(0, i), true)
+			dirtyMiss += b.Now() - start
 		}
 		// Drain to clean by switching to read-only misses on fresh pages
 		// (every victim from here on was fixed read-only).
 		for i := int64(rounds); i < rounds+3; i++ {
-			r.m.Fix(p, key(0, i), false)
+			fixB(b, r.m, key(0, i), false)
 		}
 		for i := int64(rounds + 3); i < 2*rounds; i++ {
-			start := p.Now()
-			r.m.Fix(p, key(0, i), false)
-			cleanMiss += p.Now() - start
+			start := b.Now()
+			fixB(b, r.m, key(0, i), false)
+			cleanMiss += b.Now() - start
 		}
 	})
 	st := r.m.Stats()
@@ -166,9 +189,9 @@ func TestMMResidentAlwaysHits(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Partitions[0] = PartitionAlloc{MMResident: true}
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
+	r.drive(func(b *sim.BlockingProcess) {
 		for page := int64(0); page < 100; page++ {
-			r.m.Fix(p, key(0, page), true)
+			fixB(b, r.m, key(0, page), true)
 		}
 	})
 	st := r.m.Stats()
@@ -185,13 +208,13 @@ func TestNVEMResidentPartition(t *testing.T) {
 	cfg.Partitions[0] = PartitionAlloc{NVEMResident: true}
 	r := newRig(t, cfg)
 	var elapsed sim.Time
-	r.drive(func(p *sim.Process) {
-		start := p.Now()
-		r.m.Fix(p, key(0, 1), true)  // NVEM read, 0.05ms
-		r.m.Fix(p, key(0, 2), true)  // NVEM read
-		r.m.Fix(p, key(0, 3), true)  // NVEM read
-		r.m.Fix(p, key(0, 4), false) // evicts dirty 1: NVEM write + NVEM read
-		elapsed = p.Now() - start
+	r.drive(func(b *sim.BlockingProcess) {
+		start := b.Now()
+		fixB(b, r.m, key(0, 1), true)  // NVEM read, 0.05ms
+		fixB(b, r.m, key(0, 2), true)  // NVEM read
+		fixB(b, r.m, key(0, 3), true)  // NVEM read
+		fixB(b, r.m, key(0, 4), false) // evicts dirty 1: NVEM write + NVEM read
+		elapsed = b.Now() - start
 	})
 	st := r.m.Stats()
 	if st.NVEMReads != 4 || st.DeviceReads != 0 {
@@ -222,11 +245,11 @@ func nvemCacheCfg(mmSize, nvemSize int) Config {
 
 func TestNVEMCacheMigrationAndHit(t *testing.T) {
 	r := newRig(t, nvemCacheCfg(2, 2))
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.Fix(p, key(0, 2), false)
-		r.m.Fix(p, key(0, 3), false) // evicts 1 (dirty) → NVEM + async write
-		r.m.Fix(p, key(0, 1), false) // NVEM hit
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		fixB(b, r.m, key(0, 2), false)
+		fixB(b, r.m, key(0, 3), false) // evicts 1 (dirty) → NVEM + async write
+		fixB(b, r.m, key(0, 1), false) // NVEM hit
 	})
 	st := r.m.Stats()
 	// Two victims migrate under MigrateAll: dirty page 1 (when 3 is fixed)
@@ -247,15 +270,15 @@ func TestNVEMCacheMigrationAndHit(t *testing.T) {
 
 func TestNOFORCESingleCopyInvariant(t *testing.T) {
 	r := newRig(t, nvemCacheCfg(2, 4))
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), false)
-		r.m.Fix(p, key(0, 2), false)
-		r.m.Fix(p, key(0, 3), false) // 1 → NVEM
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), false)
+		fixB(b, r.m, key(0, 2), false)
+		fixB(b, r.m, key(0, 3), false) // 1 → NVEM
 		if r.m.NVEMCacheLen() != 1 {
 			t.Errorf("NVEM len = %d, want 1", r.m.NVEMCacheLen())
 		}
-		r.m.Fix(p, key(0, 1), false) // NVEM hit: copy must leave NVEM
-		if r.m.NVEMCacheLen() != 1 { // page 2 migrated down, page 1 left
+		fixB(b, r.m, key(0, 1), false) // NVEM hit: copy must leave NVEM
+		if r.m.NVEMCacheLen() != 1 {   // page 2 migrated down, page 1 left
 			t.Errorf("NVEM len = %d after promotion, want 1 (page 2)", r.m.NVEMCacheLen())
 		}
 	})
@@ -295,9 +318,9 @@ func TestAggregateLRUEquivalence(t *testing.T) {
 			}
 		}
 		r := newRig(t, cfg)
-		r.drive(func(p *sim.Process) {
+		r.drive(func(b *sim.BlockingProcess) {
 			for _, page := range refString {
-				r.m.Fix(p, key(0, page), false)
+				fixB(b, r.m, key(0, page), false)
 			}
 		})
 		st := r.m.Stats()
@@ -318,10 +341,10 @@ func TestMigrateModeModifiedOnly(t *testing.T) {
 	cfg := nvemCacheCfg(1, 4)
 	cfg.Partitions[0].NVEMCacheMode = MigrateModified
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)  // dirty
-		r.m.Fix(p, key(0, 2), false) // evicts 1 → migrates (modified)
-		r.m.Fix(p, key(0, 3), false) // evicts 2 (clean) → dropped
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)  // dirty
+		fixB(b, r.m, key(0, 2), false) // evicts 1 → migrates (modified)
+		fixB(b, r.m, key(0, 3), false) // evicts 2 (clean) → dropped
 	})
 	st := r.m.Stats()
 	if st.VictimToNVEM != 1 || st.CleanDrops != 1 {
@@ -333,10 +356,10 @@ func TestMigrateModeUnmodifiedOnly(t *testing.T) {
 	cfg := nvemCacheCfg(1, 4)
 	cfg.Partitions[0].NVEMCacheMode = MigrateUnmodified
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)  // dirty
-		r.m.Fix(p, key(0, 2), false) // evicts dirty 1 → sync device write
-		r.m.Fix(p, key(0, 3), false) // evicts clean 2 → migrates
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)  // dirty
+		fixB(b, r.m, key(0, 2), false) // evicts dirty 1 → sync device write
+		fixB(b, r.m, key(0, 3), false) // evicts clean 2 → migrates
 	})
 	st := r.m.Stats()
 	if st.VictimToNVEM != 1 || st.VictimWrites != 1 {
@@ -359,12 +382,12 @@ func wbCfg(wbSize int) Config {
 func TestWriteBufferAbsorbsVictimWrites(t *testing.T) {
 	r := newRig(t, wbCfg(10))
 	var missDelay sim.Time
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.Fix(p, key(0, 2), true)
-		start := p.Now()
-		r.m.Fix(p, key(0, 3), false) // dirty victim → write buffer
-		missDelay = p.Now() - start
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		fixB(b, r.m, key(0, 2), true)
+		start := b.Now()
+		fixB(b, r.m, key(0, 3), false) // dirty victim → write buffer
+		missDelay = b.Now() - start
 	})
 	st := r.m.Stats()
 	if st.VictimToWB != 1 || st.VictimWrites != 0 {
@@ -384,7 +407,6 @@ func TestWriteBufferAbsorbsVictimWrites(t *testing.T) {
 
 func TestWriteBufferFullFallsBackSync(t *testing.T) {
 	cfg := wbCfg(1)
-	r := newRig(t, cfg)
 	// Block the destage by making the disk very slow.
 	slow := storage.DiskUnitConfig{
 		Name: "slow", Type: storage.Regular,
@@ -402,19 +424,18 @@ func TestWriteBufferFullFallsBackSync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Spawn("driver", 0, func(p *sim.Process) {
-		m.Fix(p, key(0, 1), true)
-		m.Fix(p, key(0, 2), true)
-		m.Fix(p, key(0, 3), true) // victim 1 → WB (now full, destage stuck)
-		m.Fix(p, key(0, 4), true) // victim → WB full → sync write
+	s.SpawnBlocking("driver", 0, func(b *sim.BlockingProcess) {
+		fixB(b, m, key(0, 1), true)
+		fixB(b, m, key(0, 2), true)
+		fixB(b, m, key(0, 3), true) // victim 1 → WB (now full, destage stuck)
+		fixB(b, m, key(0, 4), true) // victim → WB full → sync write
 	})
 	s.Run(1_000_000)
 	st := m.Stats()
 	if st.VictimToWB != 1 || st.WBFullSync != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	s.Shutdown()
-	_ = r
+	s.RunAll()
 }
 
 func TestLogWriteNVEMResident(t *testing.T) {
@@ -422,10 +443,10 @@ func TestLogWriteNVEMResident(t *testing.T) {
 	cfg.Log = LogAlloc{NVEMResident: true}
 	r := newRig(t, cfg)
 	var logDelay sim.Time
-	r.drive(func(p *sim.Process) {
-		start := p.Now()
-		r.m.WriteLog(p)
-		logDelay = p.Now() - start
+	r.drive(func(b *sim.BlockingProcess) {
+		start := b.Now()
+		writeLogB(b, r.m)
+		logDelay = b.Now() - start
 	})
 	if r.m.Stats().LogWrites != 1 {
 		t.Fatal("log write not counted")
@@ -444,10 +465,10 @@ func TestLogWriteThroughWriteBuffer(t *testing.T) {
 	cfg.NVEMWriteBufferSize = 5
 	r := newRig(t, cfg)
 	var logDelay sim.Time
-	r.drive(func(p *sim.Process) {
-		start := p.Now()
-		r.m.WriteLog(p)
-		logDelay = p.Now() - start
+	r.drive(func(b *sim.BlockingProcess) {
+		start := b.Now()
+		writeLogB(b, r.m)
+		logDelay = b.Now() - start
 	})
 	if logDelay > 1 {
 		t.Fatalf("log delay = %v: WB log write must be at NVEM speed", logDelay)
@@ -460,10 +481,10 @@ func TestLogWriteThroughWriteBuffer(t *testing.T) {
 func TestLogWriteToDisk(t *testing.T) {
 	r := newRig(t, baseCfg())
 	var logDelay sim.Time
-	r.drive(func(p *sim.Process) {
-		start := p.Now()
-		r.m.WriteLog(p)
-		logDelay = p.Now() - start
+	r.drive(func(b *sim.BlockingProcess) {
+		start := b.Now()
+		writeLogB(b, r.m)
+		logDelay = b.Now() - start
 	})
 	if logDelay < 1 {
 		t.Fatalf("log delay = %v: disk log write must be synchronous", logDelay)
@@ -477,7 +498,7 @@ func TestLoggingDisabled(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Logging = false
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) { r.m.WriteLog(p) })
+	r.drive(func(b *sim.BlockingProcess) { writeLogB(b, r.m) })
 	if r.m.Stats().LogWrites != 0 {
 		t.Fatal("log write issued despite Logging=false")
 	}
@@ -488,13 +509,13 @@ func TestForcePagesWritesAndCleans(t *testing.T) {
 	cfg.Force = true
 	cfg.BufferSize = 10
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.Fix(p, key(0, 2), true)
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1), key(0, 2)})
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		fixB(b, r.m, key(0, 2), true)
+		forceB(b, r.m, key(0, 1), key(0, 2))
 		// Pages stay buffered and clean: next fix is a hit and a later
 		// eviction needs no write.
-		r.m.Fix(p, key(0, 1), false)
+		fixB(b, r.m, key(0, 1), false)
 	})
 	st := r.m.Stats()
 	if st.ForceWrites != 2 {
@@ -510,9 +531,9 @@ func TestForcePagesWritesAndCleans(t *testing.T) {
 
 func TestForceNoforceConfigIgnoresForcePages(t *testing.T) {
 	r := newRig(t, baseCfg()) // NOFORCE
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1)})
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		forceB(b, r.m, key(0, 1))
 	})
 	if r.m.Stats().ForceWrites != 0 {
 		t.Fatal("NOFORCE must not force pages")
@@ -523,16 +544,16 @@ func TestForceWithNVEMCacheReplicates(t *testing.T) {
 	cfg := nvemCacheCfg(4, 4)
 	cfg.Force = true
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1)})
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		forceB(b, r.m, key(0, 1))
 	})
 	// Page must now be in BOTH main memory and NVEM (replication).
 	if r.m.NVEMCacheLen() != 1 {
 		t.Fatalf("NVEM len = %d, want 1", r.m.NVEMCacheLen())
 	}
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), false)
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), false)
 	})
 	if r.m.Stats().MMHits != 1 {
 		t.Fatal("forced page must remain in main memory")
@@ -547,11 +568,11 @@ func TestForcePrefersCleanVictims(t *testing.T) {
 	cfg.Force = true
 	cfg.BufferSize = 3
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), false) // clean, oldest
-		r.m.Fix(p, key(0, 2), true)  // dirty (uncommitted)
-		r.m.Fix(p, key(0, 3), true)  // dirty
-		r.m.Fix(p, key(0, 4), false) // victim should be clean page 1
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), false) // clean, oldest
+		fixB(b, r.m, key(0, 2), true)  // dirty (uncommitted)
+		fixB(b, r.m, key(0, 3), true)  // dirty
+		fixB(b, r.m, key(0, 4), false) // victim should be clean page 1
 	})
 	st := r.m.Stats()
 	if st.VictimWrites != 0 {
@@ -564,12 +585,12 @@ func TestForceSkipsAlreadyCleanAndEvicted(t *testing.T) {
 	cfg.Force = true
 	cfg.BufferSize = 10
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1)})
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		forceB(b, r.m, key(0, 1))
 		// Second force of the same (now clean) page must be a no-op, as is
 		// forcing a page that was never buffered.
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1), key(0, 99)})
+		forceB(b, r.m, key(0, 1), key(0, 99))
 	})
 	if got := r.m.Stats().ForceWrites; got != 1 {
 		t.Fatalf("force writes = %d, want 1", got)

@@ -15,10 +15,8 @@ func TestGroupCommitBatchesLogWrites(t *testing.T) {
 	done := 0
 	// Five transactions commit within one group window.
 	for i := 0; i < 5; i++ {
-		i := i
 		r.s.Spawn("committer", sim.Time(i), func(p *sim.Process) {
-			r.m.WriteLog(p)
-			done++
+			r.m.WriteLog(p, func() { done++ })
 		})
 	}
 	r.s.RunAll()
@@ -44,10 +42,8 @@ func TestGroupCommitSeparateWindows(t *testing.T) {
 	r := newRig(t, cfg)
 	var finish []sim.Time
 	for _, at := range []sim.Time{0, 100} { // far apart: two groups
-		at := at
 		r.s.Spawn("committer", at, func(p *sim.Process) {
-			r.m.WriteLog(p)
-			finish = append(finish, p.Now())
+			r.m.WriteLog(p, func() { finish = append(finish, p.Now()) })
 		})
 	}
 	r.s.RunAll()
@@ -56,7 +52,7 @@ func TestGroupCommitSeparateWindows(t *testing.T) {
 		t.Fatalf("stats = %+v, want two separate groups", st)
 	}
 	// Each committer waited at least the group window.
-	if finish[0] < 2 || finish[1] < 102 {
+	if len(finish) != 2 || finish[0] < 2 || finish[1] < 102 {
 		t.Fatalf("finish times %v: group window not respected", finish)
 	}
 }
@@ -79,13 +75,13 @@ func TestAsyncReplacementAvoidsSyncVictimWrite(t *testing.T) {
 	cfg.AsyncReplacement = true
 	r := newRig(t, cfg)
 	var missDelay sim.Time
-	r.drive(func(p *sim.Process) {
+	r.drive(func(b *sim.BlockingProcess) {
 		for page := int64(1); page <= 3; page++ {
-			r.m.Fix(p, key(0, page), true)
+			fixB(b, r.m, key(0, page), true)
 		}
-		start := p.Now()
-		r.m.Fix(p, key(0, 4), false) // dirty victim handled in background
-		missDelay = p.Now() - start
+		start := b.Now()
+		fixB(b, r.m, key(0, 4), false) // dirty victim handled in background
+		missDelay = b.Now() - start
 	})
 	st := r.m.Stats()
 	if st.VictimWrites != 0 || st.VictimAsync != 1 {
@@ -111,18 +107,18 @@ func TestDeferredDestageSavesDiskWrites(t *testing.T) {
 		cfg.Force = true
 		cfg.NVEMDeferredDestage = deferred
 		r := newRig(t, cfg)
-		r.drive(func(p *sim.Process) {
+		r.drive(func(b *sim.BlockingProcess) {
 			for i := 0; i < 5; i++ {
-				r.m.Fix(p, key(0, 1), true)
-				r.m.ForcePages(p, []storage.PageKey{key(0, 1)})
+				fixB(b, r.m, key(0, 1), true)
+				forceB(b, r.m, key(0, 1))
 			}
 			// Evict page 1 from the 2-frame NVEM cache (if cached there).
-			r.m.Fix(p, key(0, 2), true)
-			r.m.ForcePages(p, []storage.PageKey{key(0, 2)})
-			r.m.Fix(p, key(0, 3), true)
-			r.m.ForcePages(p, []storage.PageKey{key(0, 3)})
-			r.m.Fix(p, key(0, 4), true)
-			r.m.ForcePages(p, []storage.PageKey{key(0, 4)})
+			fixB(b, r.m, key(0, 2), true)
+			forceB(b, r.m, key(0, 2))
+			fixB(b, r.m, key(0, 3), true)
+			forceB(b, r.m, key(0, 3))
+			fixB(b, r.m, key(0, 4), true)
+			forceB(b, r.m, key(0, 4))
 		})
 		return r.m.Stats(), r.unit.Stats()
 	}
@@ -146,25 +142,25 @@ func TestDeferredDestagePromotionKeepsDirty(t *testing.T) {
 	cfg := nvemCacheCfg(2, 4)
 	cfg.NVEMDeferredDestage = true
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true) // dirty
-		r.m.Fix(p, key(0, 2), false)
-		r.m.Fix(p, key(0, 3), false) // 1 → NVEM, dirty, NOT destaged
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true) // dirty
+		fixB(b, r.m, key(0, 2), false)
+		fixB(b, r.m, key(0, 3), false) // 1 → NVEM, dirty, NOT destaged
 		if got := r.m.Stats().AsyncDiskWrites; got != 0 {
 			t.Errorf("deferred mode destaged immediately (%d writes)", got)
 		}
-		r.m.Fix(p, key(0, 1), false) // promote dirty page back to MM
+		fixB(b, r.m, key(0, 1), false) // promote dirty page back to MM
 		// Push it out again via a NON-caching... the partition caches, so
 		// it goes back to NVEM dirty; instead verify the MM frame is dirty
 		// by forcing an eviction chain later. Here we check the promoted
 		// frame state indirectly: evict it to NVEM and then evict from NVEM.
-		r.m.Fix(p, key(0, 4), false)
-		r.m.Fix(p, key(0, 5), false) // fills NVEM with {2,3,1-dirty,4}-ish
-		r.m.Fix(p, key(0, 6), false)
-		r.m.Fix(p, key(0, 7), false) // NVEM (cap 4) starts evicting
-		r.m.Fix(p, key(0, 8), false)
-		r.m.Fix(p, key(0, 9), false)
-		r.m.Fix(p, key(0, 10), false) // pushes the dirty page out of NVEM
+		fixB(b, r.m, key(0, 4), false)
+		fixB(b, r.m, key(0, 5), false) // fills NVEM with {2,3,1-dirty,4}-ish
+		fixB(b, r.m, key(0, 6), false)
+		fixB(b, r.m, key(0, 7), false) // NVEM (cap 4) starts evicting
+		fixB(b, r.m, key(0, 8), false)
+		fixB(b, r.m, key(0, 9), false)
+		fixB(b, r.m, key(0, 10), false) // pushes the dirty page out of NVEM
 	})
 	st := r.m.Stats()
 	if st.NVEMEvictWrites == 0 {

@@ -4,18 +4,17 @@ import (
 	"testing"
 
 	"repro/internal/sim"
-	"repro/internal/storage"
 )
 
 func TestSyncAccessUsesSyncDeviceIO(t *testing.T) {
 	cfg := baseCfg()
 	cfg.Partitions[0].SyncAccess = true
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)  // sync read
-		r.m.Fix(p, key(0, 2), true)  // sync read
-		r.m.Fix(p, key(0, 3), true)  // sync read
-		r.m.Fix(p, key(0, 4), false) // sync victim write + sync read
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)  // sync read
+		fixB(b, r.m, key(0, 2), true)  // sync read
+		fixB(b, r.m, key(0, 3), true)  // sync read
+		fixB(b, r.m, key(0, 4), false) // sync victim write + sync read
 	})
 	if r.host.syncCalls != 5 {
 		t.Fatalf("sync device calls = %d, want 5 (4 reads + 1 victim write)", r.host.syncCalls)
@@ -31,9 +30,9 @@ func TestSyncAccessForceWrites(t *testing.T) {
 	cfg.BufferSize = 10
 	cfg.Partitions[0].SyncAccess = true
 	r := newRig(t, cfg)
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), true)
-		r.m.ForcePages(p, []storage.PageKey{key(0, 1)})
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		forceB(b, r.m, key(0, 1))
 	})
 	// 1 sync read + 1 sync force write.
 	if r.host.syncCalls != 2 {
@@ -43,8 +42,8 @@ func TestSyncAccessForceWrites(t *testing.T) {
 
 func TestAsyncDefaultKeepsIOOverheadPath(t *testing.T) {
 	r := newRig(t, baseCfg()) // SyncAccess false
-	r.drive(func(p *sim.Process) {
-		r.m.Fix(p, key(0, 1), false)
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), false)
 	})
 	if r.host.syncCalls != 0 || r.host.ioCalls != 1 {
 		t.Fatalf("sync=%d io=%d, want 0/1", r.host.syncCalls, r.host.ioCalls)

@@ -6,10 +6,7 @@
 // partition by the engine.
 package cc
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // TxnID identifies a transaction for locking purposes.
 type TxnID int64
@@ -64,22 +61,61 @@ type request struct {
 	upgrade bool
 }
 
+// holder is one granted lock on a granule. Holder sets are small (usually a
+// handful of readers or one writer), so a slice beats a map allocation on
+// the per-transaction hot path.
+type holder struct {
+	txn  TxnID
+	mode Mode
+}
+
 // lockEntry is the state of one granule's lock.
 type lockEntry struct {
-	holders map[TxnID]Mode
+	holders []holder
 	queue   []request
 }
 
 func (e *lockEntry) compatible(txn TxnID, mode Mode) bool {
-	for holder, held := range e.holders {
-		if holder == txn {
+	for _, h := range e.holders {
+		if h.txn == txn {
 			continue
 		}
-		if mode == Write || held == Write {
+		if mode == Write || h.mode == Write {
 			return false
 		}
 	}
 	return true
+}
+
+// holds reports whether txn is among the entry's holders.
+func (e *lockEntry) holds(txn TxnID) bool {
+	for _, h := range e.holders {
+		if h.txn == txn {
+			return true
+		}
+	}
+	return false
+}
+
+// setHolder grants or upgrades txn's hold on the entry.
+func (e *lockEntry) setHolder(txn TxnID, mode Mode) {
+	for i := range e.holders {
+		if e.holders[i].txn == txn {
+			e.holders[i].mode = mode
+			return
+		}
+	}
+	e.holders = append(e.holders, holder{txn: txn, mode: mode})
+}
+
+// removeHolder drops txn from the entry's holders, preserving order.
+func (e *lockEntry) removeHolder(txn TxnID) {
+	for i := range e.holders {
+		if e.holders[i].txn == txn {
+			e.holders = append(e.holders[:i], e.holders[i+1:]...)
+			return
+		}
+	}
 }
 
 // Stats are the lock manager's counters (the paper's "lock behavior"
@@ -91,12 +127,18 @@ type Stats struct {
 	Upgrades  int64
 }
 
+// heldLock records one lock a transaction holds, in acquisition order.
+type heldLock struct {
+	g    Granule
+	mode Mode
+}
+
 // Manager is the lock manager. It is engine-agnostic: when a queued request
 // is eventually granted, the onGrant callback fires (the engine uses it to
-// re-activate the waiting transaction's process).
+// resume the waiting transaction's continuation).
 type Manager struct {
 	locks   map[Granule]*lockEntry
-	held    map[TxnID]map[Granule]Mode
+	held    map[TxnID][]heldLock
 	pending map[TxnID]Granule
 	onGrant func(TxnID)
 	stats   Stats
@@ -107,7 +149,7 @@ type Manager struct {
 func NewManager(onGrant func(TxnID)) *Manager {
 	return &Manager{
 		locks:   make(map[Granule]*lockEntry),
-		held:    make(map[TxnID]map[Granule]Mode),
+		held:    make(map[TxnID][]heldLock),
 		pending: make(map[TxnID]Granule),
 		onGrant: onGrant,
 	}
@@ -116,12 +158,22 @@ func NewManager(onGrant func(TxnID)) *Manager {
 // Stats returns a copy of the counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// heldMode returns txn's hold on g, if any.
+func (m *Manager) heldMode(txn TxnID, g Granule) (Mode, bool) {
+	for _, h := range m.held[txn] {
+		if h.g == g {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
 // HeldCount returns how many locks txn currently holds.
 func (m *Manager) HeldCount(txn TxnID) int { return len(m.held[txn]) }
 
 // Holds reports whether txn holds g in at least the given mode.
 func (m *Manager) Holds(txn TxnID, g Granule, mode Mode) bool {
-	held, ok := m.held[txn][g]
+	held, ok := m.heldMode(txn, g)
 	return ok && (held == Write || mode == Read)
 }
 
@@ -141,14 +193,14 @@ func (m *Manager) Acquire(txn TxnID, g Granule, mode Mode) Result {
 		panic(fmt.Sprintf("cc: txn %d acquiring while already waiting", txn))
 	}
 
-	held, holdsIt := m.held[txn][g]
+	held, holdsIt := m.heldMode(txn, g)
 	if holdsIt && (held == Write || mode == Read) {
 		return Granted // already sufficient
 	}
 
 	e := m.locks[g]
 	if e == nil {
-		e = &lockEntry{holders: make(map[TxnID]Mode)}
+		e = &lockEntry{}
 		m.locks[g] = e
 	}
 
@@ -191,13 +243,15 @@ func (m *Manager) Acquire(txn TxnID, g Granule, mode Mode) Result {
 
 // grant records txn as holding g in mode.
 func (m *Manager) grant(txn TxnID, g Granule, e *lockEntry, mode Mode) {
-	e.holders[txn] = mode
+	e.setHolder(txn, mode)
 	locks := m.held[txn]
-	if locks == nil {
-		locks = make(map[Granule]Mode)
-		m.held[txn] = locks
+	for i := range locks {
+		if locks[i].g == g {
+			locks[i].mode = mode
+			return
+		}
 	}
-	locks[g] = mode
+	m.held[txn] = append(locks, heldLock{g: g, mode: mode})
 }
 
 // ReleaseAll releases every lock txn holds (commit phase 2 or abort) and
@@ -214,21 +268,27 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 	}
 	locks := m.held[txn]
 	delete(m.held, txn)
-	granules := make([]Granule, 0, len(locks))
-	for g := range locks {
-		granules = append(granules, g)
-	}
-	sort.Slice(granules, func(i, j int) bool {
-		if granules[i].Partition != granules[j].Partition {
-			return granules[i].Partition < granules[j].Partition
+	// Insertion sort into granule order: lock sets are small (a handful of
+	// granules), and this avoids the sort.Slice allocation per commit.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && granuleLess(locks[j].g, locks[j-1].g); j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
 		}
-		return granules[i].ID < granules[j].ID
-	})
-	for _, g := range granules {
-		e := m.locks[g]
-		delete(e.holders, txn)
-		m.dispatch(g, e)
 	}
+	for _, h := range locks {
+		e := m.locks[h.g]
+		e.removeHolder(txn)
+		m.dispatch(h.g, e)
+	}
+}
+
+// granuleLess orders granules by (Partition, ID) — the deterministic lock
+// release order.
+func granuleLess(a, b Granule) bool {
+	if a.Partition != b.Partition {
+		return a.Partition < b.Partition
+	}
+	return a.ID < b.ID
 }
 
 // removeWaiter deletes txn's queued request on g and re-dispatches (removing
@@ -255,10 +315,7 @@ func (m *Manager) dispatch(g Granule, e *lockEntry) {
 		head := e.queue[0]
 		if head.upgrade {
 			// Grantable only when the upgrader is the sole holder.
-			if len(e.holders) != 1 {
-				break
-			}
-			if _, sole := e.holders[head.txn]; !sole {
+			if len(e.holders) != 1 || e.holders[0].txn != head.txn {
 				break
 			}
 		} else if !e.compatible(head.txn, head.mode) {
@@ -293,9 +350,9 @@ func (m *Manager) wouldDeadlock(txn TxnID, g Granule, e *lockEntry, upgrade bool
 			return nil
 		}
 		var out []TxnID
-		for holder := range we.holders {
-			if holder != t {
-				out = append(out, holder)
+		for _, h := range we.holders {
+			if h.txn != t {
+				out = append(out, h.txn)
 			}
 		}
 		for _, q := range we.queue {
@@ -321,11 +378,11 @@ func (m *Manager) wouldDeadlock(txn TxnID, g Granule, e *lockEntry, upgrade bool
 		return false
 	}
 	// Direct blockers of the hypothetical request.
-	for holder := range e.holders {
-		if holder == txn {
+	for _, h := range e.holders {
+		if h.txn == txn {
 			continue
 		}
-		if visit(holder) {
+		if visit(h.txn) {
 			return true
 		}
 	}

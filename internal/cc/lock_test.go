@@ -288,7 +288,7 @@ func TestLockInvariants(t *testing.T) {
 			for _, e := range m.locks {
 				writers, readers := 0, 0
 				for _, held := range e.holders {
-					if held == Write {
+					if held.mode == Write {
 						writers++
 					} else {
 						readers++

@@ -23,7 +23,7 @@ type engine struct {
 	units   []*storage.DiskUnit
 	bm      *buffer.Manager
 	locks   *cc.Manager
-	waiting map[cc.TxnID]*sim.Process
+	waiting map[cc.TxnID]func()
 
 	// Random streams: one per concern for reproducibility.
 	cpuRnd  *rng.Stream
@@ -57,7 +57,7 @@ func Run(cfg Config) (*Result, error) {
 	e := &engine{
 		cfg:      cfg,
 		s:        sim.New(),
-		waiting:  make(map[cc.TxnID]*sim.Process),
+		waiting:  make(map[cc.TxnID]func()),
 		resp:     stats.NewSummary("response", true),
 		lockWait: stats.NewSummary("lock-wait", false),
 		ioWait:   stats.NewSummary("io-wait", false),
@@ -118,31 +118,41 @@ func (e *engine) instrTime(meanInstr float64) sim.Time {
 	return e.cpuRnd.Exp(meanInstr) / (e.cfg.MIPS * 1000)
 }
 
-// cpuBurst runs an exponentially distributed instruction burst on a CPU.
-func (e *engine) cpuBurst(p *sim.Process, meanInstr float64) {
-	e.cpu.Use(p, e.instrTime(meanInstr))
+// cpuBurst runs an exponentially distributed instruction burst on a CPU,
+// then k. The burst length is drawn when the burst is issued (before any
+// CPU queueing), matching the paper's open queueing model.
+func (e *engine) cpuBurst(p *sim.Process, meanInstr float64, k func()) {
+	e.cpu.Use(p, e.instrTime(meanInstr), k)
 }
 
 // IOOverhead implements buffer.Host: the CPU pathlength of one I/O.
-func (e *engine) IOOverhead(p *sim.Process) { e.cpuBurst(p, e.cfg.InstrIO) }
+func (e *engine) IOOverhead(p *sim.Process, k func()) { e.cpuBurst(p, e.cfg.InstrIO, k) }
 
 // SyncDeviceIO implements buffer.Host: the whole device access runs with
 // the CPU held (AccessMode=synchronous, Table 3.3).
-func (e *engine) SyncDeviceIO(p *sim.Process, fn func()) {
-	e.cpu.Acquire(p)
-	p.Hold(e.instrTime(e.cfg.InstrIO))
-	fn()
-	e.cpu.Release()
+func (e *engine) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
+	e.cpu.Acquire(p, func(sim.Time) {
+		p.Hold(e.instrTime(e.cfg.InstrIO), func() {
+			dev(func() {
+				e.cpu.Release()
+				k()
+			})
+		})
+	})
 }
 
 // NVEMTransfer implements buffer.Host: a synchronous NVEM page transfer —
 // the CPU stays busy for the instruction overhead AND the transfer itself
 // (a process switch would cost more than the 50µs delay, section 2).
-func (e *engine) NVEMTransfer(p *sim.Process) {
-	e.cpu.Acquire(p)
-	p.Hold(e.instrTime(e.cfg.InstrNVEM))
-	e.nvem.Access(p)
-	e.cpu.Release()
+func (e *engine) NVEMTransfer(p *sim.Process, k func()) {
+	e.cpu.Acquire(p, func(sim.Time) {
+		p.Hold(e.instrTime(e.cfg.InstrNVEM), func() {
+			e.nvem.Access(p, func() {
+				e.cpu.Release()
+				k()
+			})
+		})
+	})
 }
 
 // SpawnAsync implements buffer.Host.
@@ -153,20 +163,22 @@ func (e *engine) SpawnAsync(name string, fn func(p *sim.Process)) {
 // --- lock integration ---
 
 func (e *engine) onLockGrant(txn cc.TxnID) {
-	p, ok := e.waiting[txn]
+	k, ok := e.waiting[txn]
 	if !ok {
 		return
 	}
 	delete(e.waiting, txn)
-	e.s.Activate(p, 0)
+	e.s.Schedule(0, k)
 }
 
-// acquireLock requests the access's lock; it returns false on deadlock
-// (the caller must abort). It blocks while the request waits.
-func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access) bool {
+// acquireLock requests the access's lock and runs k with the outcome: false
+// on deadlock (the caller must abort). On a conflict k is deferred until the
+// lock manager grants the queued request.
+func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k func(ok bool)) {
 	granularity := e.cfg.CCModes[acc.Partition]
 	if granularity == cc.NoCC {
-		return true
+		k(true)
+		return
 	}
 	id := acc.Page
 	if granularity == cc.ObjectLevel {
@@ -178,17 +190,17 @@ func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access)
 	}
 	switch e.locks.Acquire(txn, cc.Granule{Partition: acc.Partition, ID: id}, mode) {
 	case cc.Granted:
-		return true
+		k(true)
 	case cc.Wait:
 		start := p.Now()
-		e.waiting[txn] = p
-		p.Passivate()
-		if e.warm {
-			e.lockWait.Add(p.Now() - start)
+		e.waiting[txn] = func() {
+			if e.warm {
+				e.lockWait.Add(p.Now() - start)
+			}
+			k(true)
 		}
-		return true
 	default: // cc.Deadlock
-		return false
+		k(false)
 	}
 }
 
@@ -201,83 +213,176 @@ func (e *engine) spawnArrivals(typeIdx int) {
 	}
 	meanInterarrival := 1000.0 / rate // ms
 	e.s.Spawn(fmt.Sprintf("arrivals-%d", typeIdx), 0, func(p *sim.Process) {
-		for !e.stopArrivals {
-			p.Hold(e.arrRnd.Exp(meanInterarrival))
+		// arrive is the one closure the whole arrival stream reuses: each
+		// firing admits a transaction and schedules itself after the next
+		// exponential interarrival gap.
+		var arrive func()
+		arrive = func() {
 			if e.stopArrivals {
 				return
 			}
 			tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
-			if len(tx.Accesses) == 0 {
-				continue
+			if len(tx.Accesses) > 0 {
+				if e.mpl.QueueLen() >= e.cfg.MaxQueue {
+					e.dropped++
+				} else {
+					e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+				}
 			}
-			if e.mpl.QueueLen() >= e.cfg.MaxQueue {
-				e.dropped++
-				continue
-			}
-			e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+			p.Hold(e.arrRnd.Exp(meanInterarrival), arrive)
 		}
+		p.Hold(e.arrRnd.Exp(meanInterarrival), arrive)
 	})
 }
 
-// runTx executes one transaction to commit, restarting on deadlock aborts
+// txState names the continuation a txRun resumes into when its pending
+// simulated delay elapses. A transaction has exactly one pending
+// continuation at any instant, so a single dispatch closure plus this state
+// tag replaces a fresh closure per blocking call.
+type txState uint8
+
+const (
+	txStep   txState = iota // run the next access (or enter commit)
+	txFixed                 // page fix completed
+	txPhase1                // EOT burst done: log + force writes
+	txLogged                // log write durable
+	txFinish                // force writes done: release and finish
+)
+
+// txRun is one transaction's resumable state machine. Its continuations are
+// bound once at spawn (instead of allocating fresh closures per access and
+// per commit phase) and advance it through MPL admission, lock acquisition,
+// page fixes and the two commit phases, restarting on deadlock aborts
 // (access invariance: the restarted transaction repeats the same accesses).
+type txRun struct {
+	e       *engine
+	p       *sim.Process
+	tx      workload.Tx
+	txn     cc.TxnID
+	arrival sim.Time
+	fixTime sim.Time // cumulative I/O wait across all attempts
+	start   sim.Time // current fix start
+	i       int      // next access index
+	state   txState
+
+	// Pre-bound continuations, one allocation each per transaction.
+	admitted func(sim.Time)
+	resume   func()
+	locked   func(bool)
+}
+
+// runTx executes one transaction to commit.
 func (e *engine) runTx(p *sim.Process, tx workload.Tx) {
-	arrival := p.Now()
-	e.mpl.Acquire(p)
-	defer e.mpl.Release()
+	t := &txRun{e: e, p: p, tx: tx, arrival: p.Now()}
+	t.admitted = t.onAdmitted
+	t.resume = t.dispatch
+	t.locked = t.onLocked
+	e.mpl.Acquire(p, t.admitted)
+}
 
-	fixTime := sim.Time(0)
-	for {
-		e.nextTxn++
-		txn := e.nextTxn
-		committed := e.attempt(p, txn, tx, &fixTime)
-		if committed {
-			break
-		}
-		if e.warm {
-			e.aborts++
-		}
-		// Abort: release everything and retry. The fresh BOT burst below
-		// guarantees simulated time advances between attempts.
-		e.locks.ReleaseAll(txn)
-	}
-
-	if e.warm {
-		e.commits++
-		e.resp.Add(p.Now() - arrival)
-		e.ioWait.Add(fixTime)
+// dispatch resumes the state the transaction parked in.
+func (t *txRun) dispatch() {
+	switch t.state {
+	case txStep:
+		t.doStep()
+	case txFixed:
+		t.onFixed()
+	case txPhase1:
+		t.doCommitPhase1()
+	case txLogged:
+		t.onLogged()
+	default: // txFinish
+		t.finish()
 	}
 }
 
-// attempt runs one execution attempt of tx under transaction id txn.
-// It returns false if the attempt was aborted by deadlock detection.
-func (e *engine) attempt(p *sim.Process, txn cc.TxnID, tx workload.Tx, fixTime *sim.Time) bool {
-	e.cpuBurst(p, e.cfg.InstrBOT)
+// onAdmitted starts the first attempt once an MPL slot is granted.
+func (t *txRun) onAdmitted(sim.Time) { t.beginAttempt() }
 
-	for i := range tx.Accesses {
-		acc := &tx.Accesses[i]
-		if !e.acquireLock(p, txn, acc) {
-			return false // deadlock victim
-		}
-		start := p.Now()
-		e.bm.Fix(p, storage.PageKey{Partition: acc.Partition, Page: acc.Page}, acc.Write)
-		if e.warm {
-			*fixTime += p.Now() - start
-		}
-		e.cpuBurst(p, e.cfg.InstrOR)
-	}
+// beginAttempt starts one execution attempt under a fresh transaction id.
+// The BOT burst guarantees simulated time advances between attempts.
+func (t *txRun) beginAttempt() {
+	t.e.nextTxn++
+	t.txn = t.e.nextTxn
+	t.i = 0
+	t.state = txStep
+	t.e.cpuBurst(t.p, t.e.cfg.InstrBOT, t.resume)
+}
 
-	// Commit phase 1: EOT processing, log write, forced page writes.
-	e.cpuBurst(p, e.cfg.InstrEOT)
-	if tx.Update() {
-		e.bm.WriteLog(p)
-		if e.cfg.Buffer.Force {
-			e.bm.ForcePages(p, modifiedPages(tx))
-		}
+// doStep processes the next access, or enters commit once all are done.
+func (t *txRun) doStep() {
+	if t.i == len(t.tx.Accesses) {
+		t.state = txPhase1
+		t.e.cpuBurst(t.p, t.e.cfg.InstrEOT, t.resume)
+		return
 	}
-	// Commit phase 2: release locks.
-	e.locks.ReleaseAll(txn)
-	return true
+	t.e.acquireLock(t.p, t.txn, &t.tx.Accesses[t.i], t.locked)
+}
+
+// onLocked continues after the lock decision: fix the page, or abort on
+// deadlock.
+func (t *txRun) onLocked(ok bool) {
+	if !ok {
+		t.abort() // deadlock victim
+		return
+	}
+	acc := &t.tx.Accesses[t.i]
+	t.start = t.p.Now()
+	t.state = txFixed
+	t.e.bm.Fix(t.p, storage.PageKey{Partition: acc.Partition, Page: acc.Page}, acc.Write, t.resume)
+}
+
+// onFixed accounts the fix delay and runs the per-access CPU burst.
+func (t *txRun) onFixed() {
+	if t.e.warm {
+		t.fixTime += t.p.Now() - t.start
+	}
+	t.i++
+	t.state = txStep
+	t.e.cpuBurst(t.p, t.e.cfg.InstrOR, t.resume)
+}
+
+// abort releases everything and retries the whole transaction.
+func (t *txRun) abort() {
+	if t.e.warm {
+		t.e.aborts++
+	}
+	t.e.locks.ReleaseAll(t.txn)
+	t.beginAttempt()
+}
+
+// doCommitPhase1 runs after the EOT burst: log write and forced page writes
+// for update transactions.
+func (t *txRun) doCommitPhase1() {
+	if !t.tx.Update() {
+		t.finish()
+		return
+	}
+	t.state = txLogged
+	t.e.bm.WriteLog(t.p, t.resume)
+}
+
+// onLogged forces modified pages under FORCE, then finishes.
+func (t *txRun) onLogged() {
+	if t.e.cfg.Buffer.Force {
+		t.state = txFinish
+		t.e.bm.ForcePages(t.p, modifiedPages(t.tx), t.resume)
+		return
+	}
+	t.finish()
+}
+
+// finish is commit phase 2: release locks, record measurements, free the
+// MPL slot.
+func (t *txRun) finish() {
+	e := t.e
+	e.locks.ReleaseAll(t.txn)
+	if e.warm {
+		e.commits++
+		e.resp.Add(t.p.Now() - t.arrival)
+		e.ioWait.Add(t.fixTime)
+	}
+	e.mpl.Release()
 }
 
 // modifiedPages returns the distinct pages a transaction wrote, in first-

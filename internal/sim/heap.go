@@ -2,10 +2,15 @@ package sim
 
 // event is a scheduled occurrence in the simulation. Events with equal
 // timestamps fire in scheduling order (seq), which keeps runs deterministic.
+// release, when non-nil, is a resource the kernel releases immediately
+// before running fn: carrying it in the event spares the hot acquire → hold
+// → release → continue pattern (Resource.Use) a wrapper closure allocation
+// per operation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at      Time
+	seq     uint64
+	fn      func()
+	release *Resource
 }
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is implemented

@@ -2,96 +2,29 @@ package sim
 
 import "fmt"
 
-// procState tracks where a process is in its lifecycle.
-type procState uint8
-
-const (
-	stateScheduled procState = iota // a resumption event is on the heap
-	stateRunning                    // currently executing
-	statePassive                    // suspended, waiting for Activate
-	stateDone                       // body returned or process was killed
-)
-
-// errKilled is the panic value used to unwind a process during Shutdown.
-type errKilledType struct{}
-
-var errKilled = errKilledType{}
-
-// Process is a simulation coroutine. Its body runs in its own goroutine, but
-// the kernel guarantees that at most one process executes at a time and only
-// while the kernel is suspended, so process bodies may freely access shared
-// simulation state without locking.
+// Process is a simulation process: a resumable state machine identified for
+// diagnostics and passivation. A process does not own a stack — its body
+// runs in kernel context until it issues a blocking operation, which
+// registers a continuation and returns. The kernel serializes all
+// continuations, so process code may freely access shared simulation state
+// without locking.
 type Process struct {
 	sim  *Sim
 	id   int
 	name string
 
-	// resume carries kernel→process hand-offs: true resumes execution,
-	// false unwinds the process (Shutdown).
-	resume chan bool
-	state  procState
+	// k is the stored continuation while the process is passivated; nil
+	// otherwise. Activate schedules and clears it.
+	k func()
 }
 
-// Spawn creates a process and schedules its first activation after delay.
-// The name is used in diagnostics only.
+// Spawn creates a process and schedules its body after delay. The body runs
+// to its first blocking call; the name is used in diagnostics only.
 func (s *Sim) Spawn(name string, delay Time, body func(p *Process)) *Process {
 	s.nextPID++
-	p := &Process{
-		sim:    s,
-		id:     s.nextPID,
-		name:   name,
-		resume: make(chan bool),
-		state:  stateScheduled,
-	}
-	s.live[p] = struct{}{}
-	go p.run(body)
-	s.Schedule(delay, func() { s.transfer(p) })
+	p := &Process{sim: s, id: s.nextPID, name: name}
+	s.Schedule(delay, func() { body(p) })
 	return p
-}
-
-// run is the goroutine wrapper around the process body. It waits for the
-// first activation, executes the body, and always hands control back to the
-// kernel exactly once at the end, even on panic.
-func (p *Process) run(body func(p *Process)) {
-	defer func() {
-		r := recover()
-		p.state = stateDone
-		delete(p.sim.live, p)
-		if r != nil {
-			if _, killed := r.(errKilledType); !killed {
-				p.sim.fatal = fmt.Sprintf("process %q (#%d): %v", p.name, p.id, r)
-			}
-		}
-		p.sim.cur = nil
-		p.sim.park <- struct{}{}
-	}()
-	if !<-p.resume {
-		panic(errKilled)
-	}
-	body(p)
-}
-
-// transfer hands control from the kernel to p until p yields or finishes.
-// It runs in kernel context.
-func (s *Sim) transfer(p *Process) {
-	if p.state == stateDone {
-		return
-	}
-	p.state = stateRunning
-	s.cur = p
-	p.resume <- true
-	<-s.park
-}
-
-// yield returns control to the kernel. The process blocks until resumed
-// (or unwinds if the simulation is shutting down).
-func (p *Process) yield() {
-	p.sim.cur = nil
-	p.sim.park <- struct{}{}
-	if !<-p.resume {
-		panic(errKilled)
-	}
-	p.sim.cur = p
 }
 
 // Name returns the diagnostic name given at Spawn.
@@ -106,38 +39,41 @@ func (p *Process) Sim() *Sim { return p.sim }
 // Now returns the current simulated time.
 func (p *Process) Now() Time { return p.sim.now }
 
-// Hold suspends the process for dt simulated time units.
-func (p *Process) Hold(dt Time) {
-	p.mustBeCurrent("Hold")
+// Hold suspends the process for dt simulated time units, then runs k.
+func (p *Process) Hold(dt Time, k func()) {
 	if dt < 0 {
 		panic(fmt.Sprintf("sim: negative hold %v", dt))
 	}
-	p.state = stateScheduled
-	p.sim.Schedule(dt, func() { p.sim.transfer(p) })
-	p.yield()
+	p.sim.Schedule(dt, k)
 }
 
-// Passivate suspends the process indefinitely; some other entity must call
-// Activate to resume it. This is the building block for queues and locks.
-func (p *Process) Passivate() {
-	p.mustBeCurrent("Passivate")
-	p.state = statePassive
-	p.yield()
+// Passivate suspends the process indefinitely with k as its resumption;
+// some other entity must call Activate to schedule it. This is the building
+// block for bespoke queues and locks. It panics if the process is already
+// passive: two pending resumptions would corrupt any queue discipline built
+// on top.
+func (p *Process) Passivate(k func()) {
+	if p.k != nil {
+		panic(fmt.Sprintf("sim: Passivate on already-passive process %q (#%d)", p.name, p.id))
+	}
+	if k == nil {
+		panic(fmt.Sprintf("sim: Passivate with nil continuation on process %q (#%d)", p.name, p.id))
+	}
+	p.k = k
 }
 
-// Activate schedules a passivated process to resume after delay. It panics
-// if the process is not passive (running, already scheduled, or done):
-// double activation would corrupt queue disciplines built on Passivate.
+// Activate schedules a passivated process's continuation after delay. It
+// panics if the process is not passive (running, already scheduled, or
+// finished): double activation would corrupt queue disciplines built on
+// Passivate.
 func (s *Sim) Activate(p *Process, delay Time) {
-	if p.state != statePassive {
-		panic(fmt.Sprintf("sim: Activate on process %q (#%d) in state %d", p.name, p.id, p.state))
+	if p.k == nil {
+		panic(fmt.Sprintf("sim: Activate on non-passive process %q (#%d)", p.name, p.id))
 	}
-	p.state = stateScheduled
-	s.Schedule(delay, func() { s.transfer(p) })
+	k := p.k
+	p.k = nil
+	s.Schedule(delay, k)
 }
 
-func (p *Process) mustBeCurrent(op string) {
-	if p.sim.cur != p {
-		panic(fmt.Sprintf("sim: %s called on process %q (#%d) from outside its own body", op, p.name, p.id))
-	}
-}
+// Passive reports whether the process is suspended awaiting Activate.
+func (p *Process) Passive() bool { return p.k != nil }

@@ -12,7 +12,7 @@ type Resource struct {
 	capacity int
 
 	busy  int
-	queue []*Process
+	queue []waiter
 
 	// Time-integrated statistics.
 	lastChange Time
@@ -21,6 +21,16 @@ type Resource struct {
 	acquires   int64
 	waits      int64 // acquires that had to queue
 	waitInt    float64
+}
+
+// waiter is one queued acquisition. A plain Acquire stores fire; a timed
+// Use stores (k, dt) instead so the queued path needs no wrapper closure —
+// on wake the kernel schedules k at +dt with the release riding the event.
+type waiter struct {
+	fire  func(waited Time) // Acquire continuation; nil for Use waiters
+	k     func()            // Use completion
+	dt    Time              // Use service time
+	start Time
 }
 
 // NewResource creates a resource with the given number of servers.
@@ -40,7 +50,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 // Busy returns the number of servers currently held.
 func (r *Resource) Busy() int { return r.busy }
 
-// QueueLen returns the number of processes waiting.
+// QueueLen returns the number of continuations waiting.
 func (r *Resource) QueueLen() int { return len(r.queue) }
 
 func (r *Resource) integrate() {
@@ -52,55 +62,65 @@ func (r *Resource) integrate() {
 	}
 }
 
-// Acquire obtains one server for process p, queueing FCFS if all servers are
-// busy. It returns the time spent waiting.
-func (r *Resource) Acquire(p *Process) Time {
+// Acquire obtains one server for process p. If a server is free and nobody
+// queues ahead, k runs immediately (in the caller's event) with a zero wait;
+// otherwise the request queues FCFS and k runs when Release transfers a
+// server slot, with the time spent waiting.
+func (r *Resource) Acquire(p *Process, k func(waited Time)) {
 	r.integrate()
 	r.acquires++
 	if r.busy < r.capacity && len(r.queue) == 0 {
 		r.busy++
-		return 0
+		k(0)
+		return
 	}
 	r.waits++
-	start := r.sim.now
-	r.queue = append(r.queue, p)
-	p.Passivate() // woken by Release with the server slot already transferred
-	waited := r.sim.now - start
-	r.waitInt += waited
-	return waited
+	r.queue = append(r.queue, waiter{fire: k, start: r.sim.now})
 }
 
-// Release frees one server. If processes are waiting, the head of the queue
-// inherits the server slot and is activated immediately.
+// Release frees one server. If requests are waiting, the head of the queue
+// inherits the server slot and its continuation is scheduled immediately.
 func (r *Resource) Release() {
 	r.integrate()
 	if r.busy == 0 {
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
-	for len(r.queue) > 0 {
+	if len(r.queue) > 0 {
 		next := r.queue[0]
 		copy(r.queue, r.queue[1:])
-		r.queue[len(r.queue)-1] = nil
+		r.queue[len(r.queue)-1] = waiter{}
 		r.queue = r.queue[:len(r.queue)-1]
-		if next.state == stateDone {
-			// The waiter died while queued (simulation shutdown); skip it.
-			continue
-		}
 		// busy stays unchanged: the slot passes straight to next.
-		r.sim.Activate(next, 0)
+		r.sim.Schedule(0, func() {
+			waited := r.sim.now - next.start
+			r.waitInt += waited
+			if next.fire != nil {
+				next.fire(waited)
+				return
+			}
+			r.sim.scheduleRelease(r, next.dt, next.k)
+		})
 		return
 	}
 	r.busy--
 }
 
-// Use acquires a server, holds it for service time dt, and releases it.
-// It returns the total delay experienced (wait + service).
-func (r *Resource) Use(p *Process, dt Time) Time {
-	start := r.sim.now
-	r.Acquire(p)
-	p.Hold(dt)
-	r.Release()
-	return r.sim.now - start
+// Use acquires a server, holds it for service time dt, releases it, and then
+// runs k. The uncontended path allocates nothing: the release rides on the
+// scheduled event itself.
+func (r *Resource) Use(p *Process, dt Time, k func()) {
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: negative hold %v", dt))
+	}
+	r.integrate()
+	r.acquires++
+	if r.busy < r.capacity && len(r.queue) == 0 {
+		r.busy++
+		r.sim.scheduleRelease(r, dt, k)
+		return
+	}
+	r.waits++
+	r.queue = append(r.queue, waiter{k: k, dt: dt, start: r.sim.now})
 }
 
 // BusyIntegral returns ∫ busy dt over [0, now]; callers can snapshot it to

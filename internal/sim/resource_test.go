@@ -11,12 +11,14 @@ func TestResourceSingleServerSerializes(t *testing.T) {
 	var finish []Time
 	for i := 0; i < 3; i++ {
 		s.Spawn("job", 0, func(p *Process) {
-			r.Use(p, 10)
-			finish = append(finish, p.Now())
+			r.Use(p, 10, func() { finish = append(finish, p.Now()) })
 		})
 	}
 	s.RunAll()
 	want := []Time{10, 20, 30}
+	if len(finish) != len(want) {
+		t.Fatalf("finish = %v, want %v", finish, want)
+	}
 	for i := range want {
 		if finish[i] != want[i] {
 			t.Fatalf("finish = %v, want %v", finish, want)
@@ -30,11 +32,13 @@ func TestResourceMultiServerParallel(t *testing.T) {
 	var finish []Time
 	for i := 0; i < 3; i++ {
 		s.Spawn("job", 0, func(p *Process) {
-			r.Use(p, 10)
-			finish = append(finish, p.Now())
+			r.Use(p, 10, func() { finish = append(finish, p.Now()) })
 		})
 	}
 	s.RunAll()
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
 	for _, f := range finish {
 		if f != 10 {
 			t.Fatalf("finish = %v, want all 10", finish)
@@ -49,11 +53,13 @@ func TestResourceFCFS(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		i := i
 		s.Spawn("job", Time(i), func(p *Process) {
-			r.Use(p, 100)
-			order = append(order, i)
+			r.Use(p, 100, func() { order = append(order, i) })
 		})
 	}
 	s.RunAll()
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
 	for i := range order {
 		if order[i] != i {
 			t.Fatalf("order = %v, want FCFS", order)
@@ -64,8 +70,8 @@ func TestResourceFCFS(t *testing.T) {
 func TestResourceUtilization(t *testing.T) {
 	s := New()
 	r := s.NewResource("dev", 1)
-	s.Spawn("job", 0, func(p *Process) { r.Use(p, 25) })
-	s.Spawn("spacer", 0, func(p *Process) { p.Hold(100) })
+	s.Spawn("job", 0, func(p *Process) { r.Use(p, 25, func() {}) })
+	s.Spawn("spacer", 0, func(p *Process) { p.Hold(100, func() {}) })
 	s.RunAll()
 	if got := r.Utilization(); math.Abs(got-0.25) > 1e-9 {
 		t.Fatalf("utilization = %v, want 0.25", got)
@@ -76,12 +82,12 @@ func TestResourceWaitAccounting(t *testing.T) {
 	s := New()
 	r := s.NewResource("dev", 1)
 	var waited Time = -1
-	s.Spawn("first", 0, func(p *Process) { r.Use(p, 10) })
+	s.Spawn("first", 0, func(p *Process) { r.Use(p, 10, func() {}) })
 	s.Spawn("second", 0, func(p *Process) {
-		w := r.Acquire(p)
-		waited = w
-		p.Hold(5)
-		r.Release()
+		r.Acquire(p, func(w Time) {
+			waited = w
+			p.Hold(5, func() { r.Release() })
+		})
 	})
 	s.RunAll()
 	if waited != 10 {
@@ -100,8 +106,8 @@ func TestResourceSlotTransfer(t *testing.T) {
 	// (no window where the slot looks free).
 	s := New()
 	r := s.NewResource("dev", 1)
-	s.Spawn("a", 0, func(p *Process) { r.Use(p, 10) })
-	s.Spawn("b", 0, func(p *Process) { r.Use(p, 10) })
+	s.Spawn("a", 0, func(p *Process) { r.Use(p, 10, func() {}) })
+	s.Spawn("b", 0, func(p *Process) { r.Use(p, 10, func() {}) })
 	s.Spawn("watcher", 10, func(p *Process) {
 		if r.Busy() != 1 {
 			t.Errorf("busy = %d at handover instant, want 1", r.Busy())
@@ -140,7 +146,7 @@ func TestResourceMeanQueueLen(t *testing.T) {
 	// Three jobs arrive at t=0; service 10 each. Queue length is 2 during
 	// [0,10), 1 during [10,20), 0 during [20,30): integral = 30 over 30.
 	for i := 0; i < 3; i++ {
-		s.Spawn("job", 0, func(p *Process) { r.Use(p, 10) })
+		s.Spawn("job", 0, func(p *Process) { r.Use(p, 10, func() {}) })
 	}
 	s.RunAll()
 	if got := r.MeanQueueLen(); math.Abs(got-1.0) > 1e-9 {
@@ -157,13 +163,15 @@ func TestResourceInvariants(t *testing.T) {
 	violated := false
 	for i := 0; i < 200; i++ {
 		s.Spawn("job", Time(i%17), func(p *Process) {
-			r.Acquire(p)
-			if r.Busy() > r.Capacity() {
-				violated = true
-			}
-			p.Hold(3)
-			r.Release()
-			done++
+			r.Acquire(p, func(Time) {
+				if r.Busy() > r.Capacity() {
+					violated = true
+				}
+				p.Hold(3, func() {
+					r.Release()
+					done++
+				})
+			})
 		})
 	}
 	s.RunAll()

@@ -2,11 +2,14 @@
 // simulation kernel. It replaces the DeNet simulation language the paper's
 // TPSIM system was written in.
 //
-// The kernel executes events from a time-ordered heap. A Process is a
-// coroutine (backed by a goroutine with strict hand-off): exactly one of the
-// kernel or a single process runs at any instant, so simulations are fully
-// deterministic — equal-time events fire in scheduling order, and all
-// randomness comes from explicitly seeded generators outside this package.
+// The kernel is continuation-based: every blocking operation (Hold, resource
+// acquisition, passivation) returns control to the scheduler by enqueuing a
+// continuation on the time-ordered event heap instead of parking a
+// goroutine. Everything runs on the kernel's own stack, so there are no
+// channel hand-offs, no context switches and no cross-goroutine panic
+// plumbing on the hot path. Simulations are fully deterministic — events
+// with equal timestamps fire in scheduling order, and all randomness comes
+// from explicitly seeded generators outside this package.
 package sim
 
 import "fmt"
@@ -16,49 +19,41 @@ type Time = float64
 
 // Sim is a discrete-event simulation instance. It is not safe for concurrent
 // use; all interaction must happen from the goroutine that calls Run or from
-// within process bodies (which the kernel serializes).
+// within event continuations (which the kernel serializes).
 type Sim struct {
 	now    Time
 	events eventHeap
 	seq    uint64
 
-	// park is the strict hand-off channel: a running process sends on it to
-	// return control to the kernel.
-	park chan struct{}
-	cur  *Process
-	live map[*Process]struct{}
-
-	// fatal records a panic raised inside a process body so the kernel can
-	// re-raise it with context instead of deadlocking.
-	fatal any
-
 	nextPID int
 }
 
 // New creates an empty simulation at time zero.
-func New() *Sim {
-	return &Sim{
-		park: make(chan struct{}),
-		live: make(map[*Process]struct{}),
-	}
-}
+func New() *Sim { return &Sim{} }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
 // Pending reports the number of scheduled events (including process
-// resumptions).
+// continuations).
 func (s *Sim) Pending() int { return s.events.Len() }
 
 // Schedule runs fn in kernel context at now+delay. delay must be
-// non-negative. fn must not block; to model activity that takes simulated
-// time, spawn a Process instead.
+// non-negative. fn must not block; activity that takes simulated time is
+// expressed by scheduling a continuation for the remainder.
 func (s *Sim) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	s.seq++
 	s.events.Push(event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// scheduleRelease schedules fn at now+delay with r released first at fire
+// time — the allocation-free backbone of Resource.Use.
+func (s *Sim) scheduleRelease(r *Resource, delay Time, fn func()) {
+	s.seq++
+	s.events.Push(event{at: s.now + delay, seq: s.seq, fn: fn, release: r})
 }
 
 // Run executes events until the event heap is empty or the next event would
@@ -72,10 +67,10 @@ func (s *Sim) Run(until Time) Time {
 		}
 		ev := s.events.Pop()
 		s.now = ev.at
-		ev.fn()
-		if s.fatal != nil {
-			panic(fmt.Sprintf("sim: process panic at t=%v: %v", s.now, s.fatal))
+		if ev.release != nil {
+			ev.release.Release()
 		}
+		ev.fn()
 	}
 	return s.now
 }
@@ -85,38 +80,17 @@ func (s *Sim) RunAll() Time {
 	for s.events.Len() > 0 {
 		ev := s.events.Pop()
 		s.now = ev.at
-		ev.fn()
-		if s.fatal != nil {
-			panic(fmt.Sprintf("sim: process panic at t=%v: %v", s.now, s.fatal))
+		if ev.release != nil {
+			ev.release.Release()
 		}
+		ev.fn()
 	}
 	return s.now
 }
 
-// LiveProcesses reports how many spawned processes have not yet finished.
-func (s *Sim) LiveProcesses() int { return len(s.live) }
-
-// Shutdown terminates every live process (unwinding their stacks so deferred
-// cleanup runs) and drops all pending events. After Shutdown the simulation
-// can be inspected but no longer advanced. It must be called from kernel
-// context (not from within a process body).
+// Shutdown drops all pending events: suspended processes and queued
+// continuations are abandoned where they stand. After Shutdown the
+// simulation can be inspected but no longer advanced.
 func (s *Sim) Shutdown() {
-	if s.cur != nil {
-		panic("sim: Shutdown called from within a process")
-	}
-	victims := make([]*Process, 0, len(s.live))
-	for p := range s.live {
-		victims = append(victims, p)
-	}
-	for _, p := range victims {
-		if p.state == stateDone {
-			continue
-		}
-		p.resume <- false
-		<-s.park
-	}
 	s.events.items = nil
-	if s.fatal != nil {
-		panic(fmt.Sprintf("sim: process panic during shutdown: %v", s.fatal))
-	}
 }

@@ -55,21 +55,34 @@ func TestProcessHold(t *testing.T) {
 	var marks []Time
 	s.Spawn("holder", 0, func(p *Process) {
 		marks = append(marks, p.Now())
-		p.Hold(10)
-		marks = append(marks, p.Now())
-		p.Hold(5)
-		marks = append(marks, p.Now())
+		p.Hold(10, func() {
+			marks = append(marks, p.Now())
+			p.Hold(5, func() {
+				marks = append(marks, p.Now())
+			})
+		})
 	})
 	s.RunAll()
 	want := []Time{0, 10, 15}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v, want %v", marks, want)
+	}
 	for i := range want {
 		if marks[i] != want[i] {
 			t.Fatalf("marks = %v, want %v", marks, want)
 		}
 	}
-	if s.LiveProcesses() != 0 {
-		t.Fatalf("live processes = %d", s.LiveProcesses())
-	}
+}
+
+func TestNegativeHoldPanics(t *testing.T) {
+	s := New()
+	s.Spawn("bad", 0, func(p *Process) { p.Hold(-1, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative hold")
+		}
+	}()
+	s.RunAll()
 }
 
 func TestSpawnDelay(t *testing.T) {
@@ -85,10 +98,8 @@ func TestSpawnDelay(t *testing.T) {
 func TestPassivateActivate(t *testing.T) {
 	s := New()
 	var woke Time = -1
-	var sleeper *Process
-	sleeper = s.Spawn("sleeper", 0, func(p *Process) {
-		p.Passivate()
-		woke = p.Now()
+	sleeper := s.Spawn("sleeper", 0, func(p *Process) {
+		p.Passivate(func() { woke = p.Now() })
 	})
 	s.Spawn("waker", 5, func(p *Process) {
 		s.Activate(sleeper, 2)
@@ -97,18 +108,35 @@ func TestPassivateActivate(t *testing.T) {
 	if woke != 7 {
 		t.Fatalf("woke = %v, want 7", woke)
 	}
+	if sleeper.Passive() {
+		t.Fatal("sleeper still passive after activation")
+	}
 }
 
 func TestActivateNonPassivePanics(t *testing.T) {
 	s := New()
-	p := s.Spawn("idle", 0, func(p *Process) { p.Hold(100) })
-	s.Run(50) // p is now holding (scheduled), not passive
+	p := s.Spawn("idle", 0, func(p *Process) { p.Hold(100, func() {}) })
+	s.Run(50) // p is now holding (continuation scheduled), not passive
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic activating a scheduled process")
+			t.Fatal("expected panic activating a non-passive process")
 		}
 	}()
 	s.Activate(p, 0)
+}
+
+func TestDoublePassivatePanics(t *testing.T) {
+	s := New()
+	s.Spawn("greedy", 0, func(p *Process) {
+		p.Passivate(func() {})
+		p.Passivate(func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Passivate")
+		}
+	}()
+	s.RunAll()
 }
 
 func TestEqualTimeProcessesRunInSpawnOrder(t *testing.T) {
@@ -124,25 +152,25 @@ func TestEqualTimeProcessesRunInSpawnOrder(t *testing.T) {
 	}
 }
 
-func TestShutdownUnwindsProcesses(t *testing.T) {
+func TestShutdownDropsPendingEvents(t *testing.T) {
 	s := New()
-	cleaned := 0
+	fired := 0
 	for i := 0; i < 5; i++ {
 		s.Spawn("p", 0, func(p *Process) {
-			defer func() { cleaned++ }()
-			p.Passivate() // never activated
+			p.Hold(100, func() { fired++ })
 		})
 	}
 	s.Run(10)
-	if s.LiveProcesses() != 5 {
-		t.Fatalf("live = %d, want 5", s.LiveProcesses())
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
 	}
 	s.Shutdown()
-	if cleaned != 5 {
-		t.Fatalf("cleaned = %d, want 5 (defers must run)", cleaned)
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after shutdown", s.Pending())
 	}
-	if s.LiveProcesses() != 0 {
-		t.Fatalf("live = %d after shutdown", s.LiveProcesses())
+	s.RunAll()
+	if fired != 0 {
+		t.Fatalf("fired = %d: continuations must not survive Shutdown", fired)
 	}
 }
 
@@ -151,9 +179,7 @@ func TestShutdownWithNeverStartedProcess(t *testing.T) {
 	s.Spawn("never", 1000, func(p *Process) { t.Error("body must not run") })
 	s.Run(1) // before first activation
 	s.Shutdown()
-	if s.LiveProcesses() != 0 {
-		t.Fatalf("live = %d", s.LiveProcesses())
-	}
+	s.RunAll()
 }
 
 func TestProcessPanicSurfacesInRun(t *testing.T) {
@@ -168,19 +194,6 @@ func TestProcessPanicSurfacesInRun(t *testing.T) {
 	s.RunAll()
 }
 
-func TestHoldOutsideBodyPanics(t *testing.T) {
-	s := New()
-	var captured *Process
-	s.Spawn("p", 0, func(p *Process) { captured = p; p.Hold(5) })
-	s.Run(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic calling Hold from kernel context")
-		}
-	}()
-	captured.Hold(1)
-}
-
 // Determinism: two identical simulations visit events in exactly the same
 // order and produce the same trace.
 func TestDeterminism(t *testing.T) {
@@ -190,10 +203,20 @@ func TestDeterminism(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			i := i
 			s.Spawn(fmt.Sprintf("w%d", i), Time(i%3), func(p *Process) {
-				for j := 0; j < 4; j++ {
-					p.Hold(Time((i*7+j*3)%5) + 0.5)
-					log = append(log, fmt.Sprintf("%s@%.1f", p.Name(), p.Now()))
+				j := 0
+				var step func()
+				step = func() {
+					if j >= 4 {
+						return
+					}
+					d := Time((i*7+j*3)%5) + 0.5
+					j++
+					p.Hold(d, func() {
+						log = append(log, fmt.Sprintf("%s@%.1f", p.Name(), p.Now()))
+						step()
+					})
 				}
+				step()
 			})
 		}
 		s.RunAll()
@@ -222,12 +245,86 @@ func TestNestedSpawn(t *testing.T) {
 	s := New()
 	var childTime Time = -1
 	s.Spawn("parent", 0, func(p *Process) {
-		p.Hold(3)
-		s.Spawn("child", 2, func(c *Process) { childTime = c.Now() })
-		p.Hold(10)
+		p.Hold(3, func() {
+			s.Spawn("child", 2, func(c *Process) { childTime = c.Now() })
+			p.Hold(10, func() {})
+		})
 	})
 	s.RunAll()
 	if childTime != 5 {
 		t.Fatalf("child ran at %v, want 5", childTime)
+	}
+}
+
+// --- blocking compatibility shim ---
+
+func TestBlockingProcessHold(t *testing.T) {
+	s := New()
+	var marks []Time
+	s.SpawnBlocking("holder", 0, func(b *BlockingProcess) {
+		marks = append(marks, b.Now())
+		b.Hold(10)
+		marks = append(marks, b.Now())
+		b.Hold(5)
+		marks = append(marks, b.Now())
+	})
+	s.RunAll()
+	want := []Time{0, 10, 15}
+	if fmt.Sprint(marks) != fmt.Sprint(want) {
+		t.Fatalf("marks = %v, want %v", marks, want)
+	}
+}
+
+func TestBlockingProcessSynchronousAwait(t *testing.T) {
+	// An Await whose operation completes without suspending must continue
+	// the body inline, without consuming a heap event.
+	s := New()
+	ran := false
+	s.SpawnBlocking("sync", 0, func(b *BlockingProcess) {
+		b.Await(func(done func()) { done() })
+		ran = true
+		if b.Now() != 0 {
+			t.Errorf("now = %v, want 0", b.Now())
+		}
+	})
+	s.RunAll()
+	if !ran {
+		t.Fatal("body did not complete")
+	}
+}
+
+func TestBlockingProcessInterleavesDeterministically(t *testing.T) {
+	// Blocking bodies and continuation processes must share one timeline:
+	// equal-time events fire in scheduling order regardless of style.
+	s := New()
+	var order []string
+	s.SpawnBlocking("b", 1, func(b *BlockingProcess) {
+		order = append(order, "b0")
+		b.Hold(1)
+		order = append(order, "b1")
+	})
+	s.Spawn("c", 1, func(p *Process) {
+		order = append(order, "c0")
+		p.Hold(1, func() { order = append(order, "c1") })
+	})
+	s.RunAll()
+	if got := strings.Join(order, ","); got != "b0,c0,b1,c1" {
+		t.Fatalf("order = %q, want b0,c0,b1,c1", got)
+	}
+}
+
+func TestBlockingProcessResource(t *testing.T) {
+	s := New()
+	r := s.NewResource("dev", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		s.SpawnBlocking("job", 0, func(b *BlockingProcess) {
+			b.Use(r, 10)
+			finish = append(finish, b.Now())
+		})
+	}
+	s.RunAll()
+	if fmt.Sprint(finish) != fmt.Sprint([]Time{10, 20, 30}) {
+		t.Fatalf("finish = %v", finish)
 	}
 }

@@ -164,46 +164,51 @@ func (u *DiskUnit) DiskUtilization() float64 {
 }
 
 // controllerPass models the channel-oriented interface: controller service
-// plus the page transmission.
-func (u *DiskUnit) controllerPass(p *sim.Process) {
-	u.controllers.Use(p, u.rnd.Exp(u.cfg.ContrDelay))
-	if u.cfg.TransDelay > 0 {
-		p.Hold(u.cfg.TransDelay)
-	}
+// plus the page transmission, then k.
+func (u *DiskUnit) controllerPass(p *sim.Process, k func()) {
+	u.controllers.Use(p, u.rnd.Exp(u.cfg.ContrDelay), func() {
+		if u.cfg.TransDelay > 0 {
+			p.Hold(u.cfg.TransDelay, k)
+			return
+		}
+		k()
+	})
 }
 
-// diskAccess models one physical disk server access.
-func (u *DiskUnit) diskAccess(p *sim.Process) {
+// diskAccess models one physical disk server access, then k.
+func (u *DiskUnit) diskAccess(p *sim.Process, k func()) {
 	u.stats.DiskAccesses++
-	u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay))
+	u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay), k)
 }
 
-// Read performs a read I/O for key, blocking p for the device delay. For
-// cache units a read hit avoids the disk access; after a read miss the page
-// is stored in the cache (possibly evicting; non-volatile caches only evict
-// clean frames for read allocation, skipping allocation when all frames are
-// dirty).
-func (u *DiskUnit) Read(p *sim.Process, key PageKey) {
+// Read performs a read I/O for key, delaying p for the device delay before
+// running k. For cache units a read hit avoids the disk access; after a read
+// miss the page is stored in the cache (possibly evicting; non-volatile
+// caches only evict clean frames for read allocation, skipping allocation
+// when all frames are dirty).
+func (u *DiskUnit) Read(p *sim.Process, key PageKey, k func()) {
 	u.stats.Reads++
 	switch u.cfg.Type {
 	case SSD:
-		u.controllerPass(p)
+		u.controllerPass(p, k)
 	case Regular:
-		u.controllerPass(p)
-		u.diskAccess(p)
+		u.controllerPass(p, func() { u.diskAccess(p, k) })
 	case VolatileCache, NVCache:
 		if !u.cfg.WriteBufferOnly {
 			if _, hit := u.cache.Get(key); hit {
 				u.stats.ReadHits++
-				u.controllerPass(p)
+				u.controllerPass(p, k)
 				return
 			}
 		}
-		u.controllerPass(p)
-		u.diskAccess(p)
-		if !u.cfg.WriteBufferOnly {
-			u.insertClean(key)
-		}
+		u.controllerPass(p, func() {
+			u.diskAccess(p, func() {
+				if !u.cfg.WriteBufferOnly {
+					u.insertClean(key)
+				}
+				k()
+			})
+		})
 	}
 }
 
@@ -224,8 +229,8 @@ func (u *DiskUnit) insertClean(key PageKey) {
 	u.cache.Put(key, cacheFrame{dirty: false})
 }
 
-// Write performs a write I/O for key, blocking p until the unit signals
-// completion:
+// Write performs a write I/O for key, delaying p until the unit signals
+// completion before running k:
 //
 //   - Regular: controller + disk access.
 //   - SSD: controller only (data lives in semiconductor memory).
@@ -236,34 +241,36 @@ func (u *DiskUnit) insertClean(key PageKey) {
 //     copy updated asynchronously. On a write miss the least recently used
 //     clean frame is replaced; if every frame is dirty the write goes
 //     synchronously to disk.
-func (u *DiskUnit) Write(p *sim.Process, key PageKey) {
+func (u *DiskUnit) Write(p *sim.Process, key PageKey, k func()) {
 	u.stats.Writes++
 	switch u.cfg.Type {
 	case SSD:
-		u.controllerPass(p)
+		u.controllerPass(p, k)
 	case Regular:
-		u.controllerPass(p)
-		u.diskAccess(p)
+		u.controllerPass(p, func() { u.diskAccess(p, k) })
 	case VolatileCache:
-		u.controllerPass(p)
-		if _, hit := u.cache.Peek(key); hit {
-			u.stats.WriteHits++
-			u.cache.Put(key, cacheFrame{dirty: false}) // refresh copy + LRU
-		}
-		u.diskAccess(p)
+		u.controllerPass(p, func() {
+			if _, hit := u.cache.Peek(key); hit {
+				u.stats.WriteHits++
+				u.cache.Put(key, cacheFrame{dirty: false}) // refresh copy + LRU
+			}
+			u.diskAccess(p, k)
+		})
 	case NVCache:
-		u.writeNV(p, key)
+		u.writeNV(p, key, k)
 	}
 }
 
 // writeNV implements the non-volatile cache write path.
-func (u *DiskUnit) writeNV(p *sim.Process, key PageKey) {
+func (u *DiskUnit) writeNV(p *sim.Process, key PageKey, k func()) {
 	if _, hit := u.cache.Peek(key); hit {
 		// Write hit: always satisfiable — no replacement needed.
 		u.stats.WriteHits++
-		u.controllerPass(p)
-		u.cache.Put(key, cacheFrame{dirty: true})
-		u.startDestage(key)
+		u.controllerPass(p, func() {
+			u.cache.Put(key, cacheFrame{dirty: true})
+			u.startDestage(key)
+			k()
+		})
 		return
 	}
 	// Write miss: need a frame; replace the LRU clean page.
@@ -272,15 +279,16 @@ func (u *DiskUnit) writeNV(p *sim.Process, key PageKey) {
 		if !ok {
 			// All cached pages have destages in flight: go directly to disk.
 			u.stats.SyncDiskWrites++
-			u.controllerPass(p)
-			u.diskAccess(p)
+			u.controllerPass(p, func() { u.diskAccess(p, k) })
 			return
 		}
 		u.cache.Remove(victim)
 	}
-	u.controllerPass(p)
-	u.cache.Put(key, cacheFrame{dirty: true})
-	u.startDestage(key)
+	u.controllerPass(p, func() {
+		u.cache.Put(key, cacheFrame{dirty: true})
+		u.startDestage(key)
+		k()
+	})
 }
 
 // startDestage immediately starts the asynchronous disk update for a
@@ -290,13 +298,14 @@ func (u *DiskUnit) startDestage(key PageKey) {
 	u.stats.CacheWrites++
 	u.stats.Destages++
 	u.sim.Spawn(u.cfg.Name+"/destage", 0, func(p *sim.Process) {
-		u.diskAccess(p)
-		// The frame becomes clean once the disk copy is current (it may
-		// have been evicted... only clean frames are evictable, and this
-		// frame was dirty, so it is still cached unless rewritten).
-		if f, ok := u.cache.Peek(key); ok && f.dirty {
-			u.cache.Update(key, cacheFrame{dirty: false})
-		}
+		u.diskAccess(p, func() {
+			// The frame becomes clean once the disk copy is current (it may
+			// have been evicted... only clean frames are evictable, and this
+			// frame was dirty, so it is still cached unless rewritten).
+			if f, ok := u.cache.Peek(key); ok && f.dirty {
+				u.cache.Update(key, cacheFrame{dirty: false})
+			}
+		})
 	})
 }
 
@@ -344,10 +353,10 @@ func NewNVEM(s *sim.Sim, servers int, delay float64) (*NVEM, error) {
 	return &NVEM{res: s.NewResource("nvem", servers), delay: delay}, nil
 }
 
-// Access performs one page transfer (read or write — symmetric).
-func (n *NVEM) Access(p *sim.Process) {
+// Access performs one page transfer (read or write — symmetric), then k.
+func (n *NVEM) Access(p *sim.Process, k func()) {
 	n.count++
-	n.res.Use(p, n.delay)
+	n.res.Use(p, n.delay, k)
 }
 
 // Accesses returns the number of page transfers so far.

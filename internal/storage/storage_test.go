@@ -16,6 +16,16 @@ func key(p int, page int64) PageKey { return PageKey{Partition: p, Page: page} }
 // Exp(0)=0 and pass delays via TransDelay when determinism matters.
 func testStream() *rng.Stream { return rng.NewStream(1, "storage-test") }
 
+// bRead and bWrite drive the continuation-style device API blocking-style
+// from test scripts.
+func bRead(b *sim.BlockingProcess, u *DiskUnit, k PageKey) {
+	b.Await(func(done func()) { u.Read(b.Proc(), k, done) })
+}
+
+func bWrite(b *sim.BlockingProcess, u *DiskUnit, k PageKey) {
+	b.Await(func(done func()) { u.Write(b.Proc(), k, done) })
+}
+
 func regularCfg() DiskUnitConfig {
 	return DiskUnitConfig{
 		Name: "db", Type: Regular,
@@ -63,10 +73,10 @@ func TestRegularDiskTiming(t *testing.T) {
 		t.Fatal(err)
 	}
 	var elapsed sim.Time
-	s.Spawn("reader", 0, func(p *sim.Process) {
-		start := p.Now()
-		u.Read(p, key(0, 1))
-		elapsed = p.Now() - start
+	s.SpawnBlocking("reader", 0, func(b *sim.BlockingProcess) {
+		start := b.Now()
+		bRead(b, u, key(0, 1))
+		elapsed = b.Now() - start
 	})
 	s.RunAll()
 	// Exponential service: elapsed is random but positive and includes the
@@ -86,11 +96,11 @@ func TestRegularMeanAccessTime(t *testing.T) {
 	u, _ := NewDiskUnit(s, regularCfg(), testStream())
 	total := sim.Time(0)
 	const n = 2000
-	s.Spawn("reader", 0, func(p *sim.Process) {
+	s.SpawnBlocking("reader", 0, func(b *sim.BlockingProcess) {
 		for i := 0; i < n; i++ {
-			start := p.Now()
-			u.Read(p, key(0, int64(i)))
-			total += p.Now() - start
+			start := b.Now()
+			bRead(b, u, key(0, int64(i)))
+			total += b.Now() - start
 		}
 	})
 	s.RunAll()
@@ -107,15 +117,15 @@ func TestSSDMeanAccessTime(t *testing.T) {
 	u, _ := NewDiskUnit(s, cfg, testStream())
 	total := sim.Time(0)
 	const n = 2000
-	s.Spawn("rw", 0, func(p *sim.Process) {
+	s.SpawnBlocking("rw", 0, func(b *sim.BlockingProcess) {
 		for i := 0; i < n; i++ {
-			start := p.Now()
+			start := b.Now()
 			if i%2 == 0 {
-				u.Read(p, key(0, int64(i)))
+				bRead(b, u, key(0, int64(i)))
 			} else {
-				u.Write(p, key(0, int64(i)))
+				bWrite(b, u, key(0, int64(i)))
 			}
-			total += p.Now() - start
+			total += b.Now() - start
 		}
 	})
 	s.RunAll()
@@ -134,9 +144,9 @@ func TestVolatileCacheReadHit(t *testing.T) {
 	cfg.Type = VolatileCache
 	cfg.CacheSize = 10
 	u, _ := NewDiskUnit(s, cfg, testStream())
-	s.Spawn("reader", 0, func(p *sim.Process) {
-		u.Read(p, key(0, 1)) // miss: disk access + allocate
-		u.Read(p, key(0, 1)) // hit
+	s.SpawnBlocking("reader", 0, func(b *sim.BlockingProcess) {
+		bRead(b, u, key(0, 1)) // miss: disk access + allocate
+		bRead(b, u, key(0, 1)) // hit
 	})
 	s.RunAll()
 	st := u.Stats()
@@ -151,10 +161,10 @@ func TestVolatileCacheWriteAlwaysHitsDisk(t *testing.T) {
 	cfg.Type = VolatileCache
 	cfg.CacheSize = 10
 	u, _ := NewDiskUnit(s, cfg, testStream())
-	s.Spawn("writer", 0, func(p *sim.Process) {
-		u.Write(p, key(0, 1)) // write miss: disk access, no allocation
-		u.Read(p, key(0, 1))  // still a miss (write misses don't allocate)
-		u.Write(p, key(0, 1)) // write hit: refresh, still disk access
+	s.SpawnBlocking("writer", 0, func(b *sim.BlockingProcess) {
+		bWrite(b, u, key(0, 1)) // write miss: disk access, no allocation
+		bRead(b, u, key(0, 1))  // still a miss (write misses don't allocate)
+		bWrite(b, u, key(0, 1)) // write hit: refresh, still disk access
 	})
 	s.RunAll()
 	st := u.Stats()
@@ -176,10 +186,10 @@ func TestNVCacheWriteSatisfiedInCache(t *testing.T) {
 	cfg.CacheSize = 10
 	u, _ := NewDiskUnit(s, cfg, testStream())
 	var writeDelay sim.Time
-	s.Spawn("writer", 0, func(p *sim.Process) {
-		start := p.Now()
-		u.Write(p, key(0, 1)) // write miss, allocated, async destage
-		writeDelay = p.Now() - start
+	s.SpawnBlocking("writer", 0, func(b *sim.BlockingProcess) {
+		start := b.Now()
+		bWrite(b, u, key(0, 1)) // write miss, allocated, async destage
+		writeDelay = b.Now() - start
 	})
 	s.RunAll()
 	st := u.Stats()
@@ -207,14 +217,14 @@ func TestNVCacheAllDirtyFallsBackToDisk(t *testing.T) {
 	cfg.DiskDelay = 1000 // destages take forever: frames stay dirty
 	u, _ := NewDiskUnit(s, cfg, testStream())
 	var thirdDelay sim.Time
-	s.Spawn("writer", 0, func(p *sim.Process) {
-		u.Write(p, key(0, 1))
-		u.Write(p, key(0, 2))
-		start := p.Now()
-		u.Write(p, key(0, 3)) // all frames dirty: synchronous disk write
-		thirdDelay = p.Now() - start
+	s.SpawnBlocking("writer", 0, func(b *sim.BlockingProcess) {
+		bWrite(b, u, key(0, 1))
+		bWrite(b, u, key(0, 2))
+		start := b.Now()
+		bWrite(b, u, key(0, 3)) // all frames dirty: synchronous disk write
+		thirdDelay = b.Now() - start
 	})
-	s.Run(5000)
+	s.RunAll()
 	st := u.Stats()
 	if st.SyncDiskWrites != 1 {
 		t.Fatalf("sync disk writes = %d, want 1", st.SyncDiskWrites)
@@ -222,7 +232,6 @@ func TestNVCacheAllDirtyFallsBackToDisk(t *testing.T) {
 	if thirdDelay < 100 {
 		t.Fatalf("third write delay = %v: must include synchronous disk access", thirdDelay)
 	}
-	s.Shutdown()
 }
 
 func TestNVCacheWriteHitAlwaysPossible(t *testing.T) {
@@ -233,14 +242,14 @@ func TestNVCacheWriteHitAlwaysPossible(t *testing.T) {
 	cfg.DiskDelay = 1000
 	u, _ := NewDiskUnit(s, cfg, testStream())
 	delays := []sim.Time{}
-	s.Spawn("writer", 0, func(p *sim.Process) {
+	s.SpawnBlocking("writer", 0, func(b *sim.BlockingProcess) {
 		for i := 0; i < 3; i++ {
-			start := p.Now()
-			u.Write(p, key(0, 1)) // rewrite same page: always a write hit
-			delays = append(delays, p.Now()-start)
+			start := b.Now()
+			bWrite(b, u, key(0, 1)) // rewrite same page: always a write hit
+			delays = append(delays, b.Now()-start)
 		}
 	})
-	s.Run(5000)
+	s.RunAll()
 	st := u.Stats()
 	if st.WriteHits != 2 || st.SyncDiskWrites != 0 {
 		t.Fatalf("stats = %+v", st)
@@ -250,7 +259,6 @@ func TestNVCacheWriteHitAlwaysPossible(t *testing.T) {
 			t.Fatalf("write %d delayed %v: write hit must stay at cache speed", i, d)
 		}
 	}
-	s.Shutdown()
 }
 
 func TestNVCacheReadAllocationSkipsWhenAllDirty(t *testing.T) {
@@ -291,10 +299,10 @@ func TestWriteBufferOnlyNoReadCaching(t *testing.T) {
 	cfg.CacheSize = 100
 	cfg.WriteBufferOnly = true
 	u, _ := NewDiskUnit(s, cfg, testStream())
-	s.Spawn("log", 0, func(p *sim.Process) {
-		u.Write(p, key(9, 1)) // buffered
-		u.Read(p, key(9, 2))
-		u.Read(p, key(9, 2)) // must miss: write-buffer mode has no read LRU
+	s.SpawnBlocking("log", 0, func(b *sim.BlockingProcess) {
+		bWrite(b, u, key(9, 1)) // buffered
+		bRead(b, u, key(9, 2))
+		bRead(b, u, key(9, 2)) // must miss: write-buffer mode has no read LRU
 	})
 	s.RunAll()
 	st := u.Stats()
@@ -316,8 +324,7 @@ func TestDiskQueueing(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		i := i
 		s.Spawn("reader", 0, func(p *sim.Process) {
-			u.Read(p, key(0, int64(i)))
-			done++
+			u.Read(p, key(0, int64(i)), func() { done++ })
 		})
 	}
 	end := s.RunAll()
@@ -340,7 +347,7 @@ func TestMultipleDisksParallel(t *testing.T) {
 	u, _ := NewDiskUnit(s, cfg, testStream())
 	for i := 0; i < 10; i++ {
 		i := i
-		s.Spawn("reader", 0, func(p *sim.Process) { u.Read(p, key(0, int64(i))) })
+		s.Spawn("reader", 0, func(p *sim.Process) { u.Read(p, key(0, int64(i)), func() {}) })
 	}
 	end := s.RunAll()
 	if end > 120 {
@@ -357,9 +364,9 @@ func TestNVEM(t *testing.T) {
 	var elapsed sim.Time
 	s.Spawn("cm", 0, func(p *sim.Process) {
 		start := p.Now()
-		n.Access(p)
-		n.Access(p)
-		elapsed = p.Now() - start
+		n.Access(p, func() {
+			n.Access(p, func() { elapsed = p.Now() - start })
+		})
 	})
 	s.RunAll()
 	if math.Abs(elapsed-0.1) > 1e-9 {
@@ -387,8 +394,7 @@ func TestNVEMQueueing(t *testing.T) {
 	var last sim.Time
 	for i := 0; i < 2; i++ {
 		s.Spawn("cm", 0, func(p *sim.Process) {
-			n.Access(p)
-			last = p.Now()
+			n.Access(p, func() { last = p.Now() })
 		})
 	}
 	s.RunAll()

@@ -52,7 +52,37 @@ func Write(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Read parses a trace and validates it.
+// maxPrealloc caps slice capacity reserved from header-declared counts.
+// Declared sizes are untrusted input: a tiny file claiming a billion
+// entries must not allocate gigabytes before a single entry is parsed.
+// Larger traces still load — growth just falls back to append.
+const maxPrealloc = 1 << 16
+
+// prealloCap clamps an untrusted count to a safe initial capacity.
+func prealloCap(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// countLine strictly parses "<keyword> <n>" — exactly two fields, nothing
+// trailing (fmt.Sscanf would silently accept garbage after the count).
+func countLine(s, keyword string) (int, bool) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 || fields[0] != keyword {
+		return 0, false
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Read parses a trace and validates it. The parser is strict: every line
+// must have exactly its format's fields, so trailing garbage is rejected
+// rather than silently dropped.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -88,25 +118,29 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fail("missing FILES: %v", err)
 	}
-	var nFiles int
-	if _, err := fmt.Sscanf(s, "FILES %d", &nFiles); err != nil || nFiles <= 0 {
+	nFiles, ok := countLine(s, "FILES")
+	if !ok || nFiles <= 0 {
 		return nil, fail("bad FILES line %q", s)
 	}
-	tr.FilePages = make([]int64, nFiles)
+	tr.FilePages = make([]int64, 0, prealloCap(nFiles))
 	for i := 0; i < nFiles; i++ {
 		s, err := next()
 		if err != nil {
 			return nil, fail("missing FILE: %v", err)
 		}
-		var id int
-		var pages int64
-		if _, err := fmt.Sscanf(s, "FILE %d %d", &id, &pages); err != nil {
+		fields := strings.Fields(s)
+		if len(fields) != 3 || fields[0] != "FILE" {
+			return nil, fail("bad FILE line %q", s)
+		}
+		id, err1 := strconv.Atoi(fields[1])
+		pages, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
 			return nil, fail("bad FILE line %q", s)
 		}
 		if id != i {
 			return nil, fail("FILE id %d out of order, want %d", id, i)
 		}
-		tr.FilePages[i] = pages
+		tr.FilePages = append(tr.FilePages, pages)
 	}
 
 	s, err = next()
@@ -114,11 +148,11 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fail("truncated after files: %v", err)
 	}
 	if strings.HasPrefix(s, "TYPES ") {
-		var nTypes int
-		if _, err := fmt.Sscanf(s, "TYPES %d", &nTypes); err != nil || nTypes <= 0 {
+		nTypes, ok := countLine(s, "TYPES")
+		if !ok || nTypes <= 0 {
 			return nil, fail("bad TYPES line %q", s)
 		}
-		tr.TypeNames = make([]string, nTypes)
+		tr.TypeNames = make([]string, 0, prealloCap(nTypes))
 		for i := 0; i < nTypes; i++ {
 			s, err := next()
 			if err != nil {
@@ -132,7 +166,7 @@ func Read(r io.Reader) (*Trace, error) {
 			if err != nil || id != i {
 				return nil, fail("TYPE id %q out of order", parts[1])
 			}
-			tr.TypeNames[i] = parts[2]
+			tr.TypeNames = append(tr.TypeNames, parts[2])
 		}
 		s, err = next()
 		if err != nil {
@@ -141,14 +175,19 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 
 	for s != "END" {
-		var typ, nRefs int
-		if _, err := fmt.Sscanf(s, "TX %d %d", &typ, &nRefs); err != nil {
+		fields := strings.Fields(s)
+		if len(fields) != 3 || fields[0] != "TX" {
+			return nil, fail("bad TX line %q", s)
+		}
+		typ, err1 := strconv.Atoi(fields[1])
+		nRefs, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
 			return nil, fail("bad TX line %q", s)
 		}
 		if nRefs <= 0 {
 			return nil, fail("TX with %d refs", nRefs)
 		}
-		tx := Tx{Type: typ, Refs: make([]Ref, 0, nRefs)}
+		tx := Tx{Type: typ, Refs: make([]Ref, 0, prealloCap(nRefs))}
 		for i := 0; i < nRefs; i++ {
 			s, err := next()
 			if err != nil {
