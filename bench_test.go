@@ -129,6 +129,31 @@ func BenchmarkFig48LockContention(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterScaleout regenerates the multi-node scale-out
+// experiment (1/2/4-node data-sharing clusters sharing disks and NVEM).
+func BenchmarkClusterScaleout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resp, _, err := experiments.ClusterScaleout(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: shared-NVEM vs disk-only response at the widest cluster.
+		last := len(resp.X) - 1
+		b.ReportMetric(resp.Series[0].Points[last], "shared-nvem-ms")
+		b.ReportMetric(resp.Series[1].Points[last], "disk-only-ms")
+	}
+}
+
+// BenchmarkClusterLocking regenerates the global-vs-local locking
+// contention experiment on a two-node cluster.
+func BenchmarkClusterLocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.ClusterLocking(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable21CostModel regenerates Table 2.1 with the
 // cost-effectiveness analysis.
 func BenchmarkTable21CostModel(b *testing.B) {

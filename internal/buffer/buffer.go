@@ -60,6 +60,54 @@ type Stats struct {
 	GroupCommits int64 // log groups flushed (group commit)
 }
 
+// Sub returns s-o field-wise; the engine reports measurement-window
+// deltas with it. Keep Sub and Add in sync when adding counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Fixes:           s.Fixes - o.Fixes,
+		MMHits:          s.MMHits - o.MMHits,
+		ResidentFixes:   s.ResidentFixes - o.ResidentFixes,
+		NVEMCacheHits:   s.NVEMCacheHits - o.NVEMCacheHits,
+		NVEMReads:       s.NVEMReads - o.NVEMReads,
+		DeviceReads:     s.DeviceReads - o.DeviceReads,
+		VictimWrites:    s.VictimWrites - o.VictimWrites,
+		VictimAsync:     s.VictimAsync - o.VictimAsync,
+		VictimToWB:      s.VictimToWB - o.VictimToWB,
+		VictimToNVEM:    s.VictimToNVEM - o.VictimToNVEM,
+		CleanDrops:      s.CleanDrops - o.CleanDrops,
+		WBFullSync:      s.WBFullSync - o.WBFullSync,
+		AsyncDiskWrites: s.AsyncDiskWrites - o.AsyncDiskWrites,
+		NVEMEvictWrites: s.NVEMEvictWrites - o.NVEMEvictWrites,
+		ForceWrites:     s.ForceWrites - o.ForceWrites,
+		LogWrites:       s.LogWrites - o.LogWrites,
+		GroupCommits:    s.GroupCommits - o.GroupCommits,
+	}
+}
+
+// Add returns s+o field-wise; cluster aggregation sums per-node stats
+// with it.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Fixes:           s.Fixes + o.Fixes,
+		MMHits:          s.MMHits + o.MMHits,
+		ResidentFixes:   s.ResidentFixes + o.ResidentFixes,
+		NVEMCacheHits:   s.NVEMCacheHits + o.NVEMCacheHits,
+		NVEMReads:       s.NVEMReads + o.NVEMReads,
+		DeviceReads:     s.DeviceReads + o.DeviceReads,
+		VictimWrites:    s.VictimWrites + o.VictimWrites,
+		VictimAsync:     s.VictimAsync + o.VictimAsync,
+		VictimToWB:      s.VictimToWB + o.VictimToWB,
+		VictimToNVEM:    s.VictimToNVEM + o.VictimToNVEM,
+		CleanDrops:      s.CleanDrops + o.CleanDrops,
+		WBFullSync:      s.WBFullSync + o.WBFullSync,
+		AsyncDiskWrites: s.AsyncDiskWrites + o.AsyncDiskWrites,
+		NVEMEvictWrites: s.NVEMEvictWrites + o.NVEMEvictWrites,
+		ForceWrites:     s.ForceWrites + o.ForceWrites,
+		LogWrites:       s.LogWrites + o.LogWrites,
+		GroupCommits:    s.GroupCommits + o.GroupCommits,
+	}
+}
+
 // PartitionStats is the per-partition hit breakdown.
 type PartitionStats struct {
 	Fixes    int64
@@ -85,9 +133,10 @@ type Manager struct {
 	units []*storage.DiskUnit
 	nvem  *storage.NVEM
 
-	mm        *lru.Cache[storage.PageKey, frame]
-	nvemCache *lru.Cache[storage.PageKey, nvemFrame]
-	wbInUse   int
+	mm         *lru.Cache[storage.PageKey, frame]
+	nvemCache  *lru.Cache[storage.PageKey, nvemFrame]
+	sharedNVEM bool // nvemCache is the cluster-shared cache, not a private one
+	wbInUse    int
 
 	logPartition int
 	logNext      int64
@@ -100,6 +149,14 @@ type Manager struct {
 // New builds a buffer manager. units must cover every DiskUnit index in the
 // configuration; nvem may be nil when cfg.UsesNVEM() is false.
 func New(cfg Config, partitionNames []string, units []*storage.DiskUnit, nvem *storage.NVEM, host Host) (*Manager, error) {
+	return newManager(cfg, partitionNames, units, nvem, host, nil)
+}
+
+// newManager is the shared constructor: with a non-nil shared cache the
+// manager operates on the cluster-shared NVEM cache and allocates no
+// private one.
+func newManager(cfg Config, partitionNames []string, units []*storage.DiskUnit,
+	nvem *storage.NVEM, host Host, shared *SharedNVEMCache) (*Manager, error) {
 	if err := cfg.Validate(partitionNames, len(units)); err != nil {
 		return nil, err
 	}
@@ -115,7 +172,11 @@ func New(cfg Config, partitionNames []string, units []*storage.DiskUnit, nvem *s
 		logPartition: len(cfg.Partitions),
 		partStats:    make([]PartitionStats, len(cfg.Partitions)),
 	}
-	if cfg.NVEMCacheSize > 0 {
+	switch {
+	case shared != nil:
+		m.nvemCache = shared.cache
+		m.sharedNVEM = true
+	case cfg.NVEMCacheSize > 0:
 		m.nvemCache = lru.New[storage.PageKey, nvemFrame](cfg.NVEMCacheSize)
 	}
 	return m, nil
@@ -369,14 +430,20 @@ func (m *Manager) putNVEM(key storage.PageKey, dirty bool) {
 	if !evicted || !evictedFrame.dirty {
 		return
 	}
+	m.destageFromNVEM(evictedKey)
+}
+
+// destageFromNVEM starts the deferred destage of a dirty NVEM frame that
+// is leaving the cache: the page must pass through main memory on its way
+// to disk (section 2: NVEM↔disk transfers go through the accessing
+// system), then the asynchronous disk write.
+func (m *Manager) destageFromNVEM(key storage.PageKey) {
 	m.stats.NVEMEvictWrites++
-	unit := m.deviceUnitFor(evictedKey)
+	unit := m.deviceUnitFor(key)
 	m.host.SpawnAsync("nvem-evict-destage", func(ap *sim.Process) {
-		// The page must pass through main memory on its way to disk
-		// (section 2: NVEM↔disk transfers go through the accessing system).
 		m.host.NVEMTransfer(ap, func() {
 			m.stats.AsyncDiskWrites++
-			m.host.IOOverhead(ap, func() { unit.Write(ap, evictedKey, nop) })
+			m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
 		})
 	})
 }

@@ -1,0 +1,144 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// twoNodeRig builds two buffer managers that share one disk unit, one NVEM
+// store and one shared NVEM second-level cache — the buffer-level shape of
+// a two-node data-sharing cluster.
+func twoNodeRig(t *testing.T, bufferSize, sharedFrames int) (s *sim.Sim, a, b *Manager, shared *SharedNVEMCache) {
+	t.Helper()
+	s = sim.New()
+	unit, err := storage.NewDiskUnit(s, storage.DiskUnitConfig{
+		Name: "u0", Type: storage.Regular,
+		NumControllers: 4, ContrDelay: 1, TransDelay: 0.4,
+		NumDisks: 4, DiskDelay: 15,
+	}, rng.NewStream(1, "unit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvem, err := storage.NewNVEM(s, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err = NewSharedNVEMCache(sharedFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		BufferSize:    bufferSize,
+		Logging:       false,
+		NVEMCacheSize: sharedFrames,
+		Partitions:    []PartitionAlloc{{DiskUnit: 0, NVEMCache: true, NVEMCacheMode: MigrateAll}},
+		Log:           LogAlloc{DiskUnit: 0},
+	}
+	mk := func() *Manager {
+		host := &testHost{s: s, nvem: nvem}
+		m, err := NewShared(cfg, []string{"p"}, []*storage.DiskUnit{unit}, nvem, host, shared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return s, mk(), mk(), shared
+}
+
+// TestSharedNVEMCacheCrossNodeHit: a page node A destages into the shared
+// cache must be hittable by node B.
+func TestSharedNVEMCacheCrossNodeHit(t *testing.T) {
+	s, a, b, _ := twoNodeRig(t, 1, 10)
+	s.SpawnBlocking("driver", 0, func(bp *sim.BlockingProcess) {
+		fixB(bp, a, key(0, 1), false) // A reads page 1
+		fixB(bp, a, key(0, 2), false) // evicts page 1 into the shared cache
+		fixB(bp, b, key(0, 1), false) // B must hit it there
+	})
+	s.RunAll()
+	if got := a.Stats().VictimToNVEM; got != 1 {
+		t.Fatalf("node A migrated %d victims into the shared cache, want 1", got)
+	}
+	if got := b.Stats().NVEMCacheHits; got != 1 {
+		t.Fatalf("node B NVEM cache hits = %d, want 1 (cross-node hit)", got)
+	}
+	if got := b.Stats().DeviceReads; got != 0 {
+		t.Fatalf("node B read the device %d times despite the shared-cache copy", got)
+	}
+}
+
+// TestInvalidateCleanCopy: invalidating a clean remote copy drops it so the
+// next local fix misses.
+func TestInvalidateCleanCopy(t *testing.T) {
+	s, a, _, _ := twoNodeRig(t, 2, 10)
+	s.SpawnBlocking("driver", 0, func(bp *sim.BlockingProcess) {
+		fixB(bp, a, key(0, 1), false)
+	})
+	s.RunAll()
+	had, dirty := a.Invalidate(key(0, 1))
+	if !had || dirty {
+		t.Fatalf("Invalidate = (%v, %v), want (true, false)", had, dirty)
+	}
+	if a.MMLen() != 0 {
+		t.Fatalf("MM still holds %d frames after invalidation", a.MMLen())
+	}
+	if had, _ := a.Invalidate(key(0, 1)); had {
+		t.Fatal("second invalidation found a copy")
+	}
+}
+
+// TestInvalidatePrivateNVEMCacheCopy: a private (non-shared) NVEM cache
+// copy is stale after a remote write and must be dropped with the MM
+// frame — the next local fix pays the device read again.
+func TestInvalidatePrivateNVEMCacheCopy(t *testing.T) {
+	r := newRig(t, Config{
+		BufferSize:    1,
+		NVEMCacheSize: 10,
+		Partitions:    []PartitionAlloc{{DiskUnit: 0, NVEMCache: true, NVEMCacheMode: MigrateAll}},
+		Log:           LogAlloc{DiskUnit: 0},
+	})
+	r.drive(func(bp *sim.BlockingProcess) {
+		fixB(bp, r.m, key(0, 1), false) // read page 1
+		fixB(bp, r.m, key(0, 2), false) // evict page 1 into the private cache
+	})
+	if r.m.NVEMCacheLen() != 1 {
+		t.Fatalf("private cache holds %d frames, want 1", r.m.NVEMCacheLen())
+	}
+	if had, _ := r.m.Invalidate(key(0, 1)); had {
+		t.Fatal("page 1 must not be in main memory")
+	}
+	if r.m.NVEMCacheLen() != 0 {
+		t.Fatal("stale private-cache copy survived invalidation")
+	}
+	reads := r.m.Stats().DeviceReads
+	r.drive(func(bp *sim.BlockingProcess) {
+		fixB(bp, r.m, key(0, 1), false)
+	})
+	if got := r.m.Stats().DeviceReads; got != reads+1 {
+		t.Fatalf("refetch after invalidation read the device %d times, want %d", got-reads, 1)
+	}
+}
+
+// TestInvalidateDirtyHandoff: invalidating a dirty copy hands the current
+// version off to the shared NVEM cache, where the writer (or any reader)
+// can hit it instead of reading a stale disk copy.
+func TestInvalidateDirtyHandoff(t *testing.T) {
+	s, a, b, _ := twoNodeRig(t, 2, 10)
+	s.SpawnBlocking("driver", 0, func(bp *sim.BlockingProcess) {
+		fixB(bp, a, key(0, 1), true) // A modifies page 1
+	})
+	s.RunAll()
+	had, dirty := a.Invalidate(key(0, 1))
+	if !had || !dirty {
+		t.Fatalf("Invalidate = (%v, %v), want (true, true)", had, dirty)
+	}
+	s.SpawnBlocking("driver2", 0, func(bp *sim.BlockingProcess) {
+		fixB(bp, b, key(0, 1), true) // B picks the page up from the shared cache
+	})
+	s.RunAll()
+	if got := b.Stats().NVEMCacheHits; got != 1 {
+		t.Fatalf("writer missed the handed-off copy: %+v", b.Stats())
+	}
+}

@@ -127,6 +127,28 @@ type Stats struct {
 	Upgrades  int64
 }
 
+// Sub returns s-o field-wise; the engine reports measurement-window
+// deltas with it. Keep Sub and Add in sync when adding counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Requests:  s.Requests - o.Requests,
+		Conflicts: s.Conflicts - o.Conflicts,
+		Deadlocks: s.Deadlocks - o.Deadlocks,
+		Upgrades:  s.Upgrades - o.Upgrades,
+	}
+}
+
+// Add returns s+o field-wise; cluster aggregation sums per-node stats
+// with it.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Requests:  s.Requests + o.Requests,
+		Conflicts: s.Conflicts + o.Conflicts,
+		Deadlocks: s.Deadlocks + o.Deadlocks,
+		Upgrades:  s.Upgrades + o.Upgrades,
+	}
+}
+
 // heldLock records one lock a transaction holds, in acquisition order.
 type heldLock struct {
 	g    Granule

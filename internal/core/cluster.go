@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Default cost of one message to the global lock manager: CPU pathlength
+// on the sending node and the request/response round trip (the paper's
+// data-sharing discussion in section 5 assumes a dedicated communication
+// path to the globally accessible store).
+const (
+	DefaultInstrLockMsg   = 5_000
+	DefaultLockMsgDelayMS = 0.1
+)
+
+// ClusterConfig describes a multi-node data-sharing simulation: N
+// transaction-processing nodes — each with its own CPUs, MPL, main-memory
+// buffer and arrival streams — sharing the disk units and one global NVEM
+// that serves as second-level cache and log store.
+type ClusterConfig struct {
+	// Base is the per-node template. Its CPU/MPL/buffer/CC/partition and
+	// window settings apply to every node; its DiskUnits and NVEM
+	// parameters describe the storage shared by all nodes. Base.Generator
+	// is ignored — Generators supplies the per-node arrival streams.
+	Base Config
+
+	NumNodes int
+
+	// Generators holds one workload generator per node. Generators are
+	// stateful, so nodes must not share an instance.
+	Generators []workload.Generator
+
+	// SharedNVEMCache shares a single NVEM second-level cache of
+	// Base.Buffer.NVEMCacheSize frames across all nodes: a page destaged
+	// by one node is hittable by every other, with write-invalidate
+	// coherence. When false each node gets a private cache (or none when
+	// the buffer configuration uses no NVEM cache).
+	SharedNVEMCache bool
+
+	// GlobalLocks routes every lock request through one cluster-wide lock
+	// manager. Each request costs InstrLockMsg instructions of message
+	// pathlength on the requesting node's CPU plus a LockMsgDelayMS round
+	// trip; releases cost one more message. Zero values take the
+	// defaults. When false each node locks locally with no inter-node
+	// messages — an idealized lower bound used for overhead ablations.
+	GlobalLocks    bool
+	InstrLockMsg   float64
+	LockMsgDelayMS float64
+}
+
+// Validate checks the cluster description.
+func (c *ClusterConfig) Validate() error {
+	if c.NumNodes <= 0 {
+		return fmt.Errorf("core: cluster NumNodes = %d", c.NumNodes)
+	}
+	if len(c.Generators) != c.NumNodes {
+		return fmt.Errorf("core: %d generators for %d nodes", len(c.Generators), c.NumNodes)
+	}
+	if c.InstrLockMsg < 0 || c.LockMsgDelayMS < 0 {
+		return fmt.Errorf("core: negative global-lock message cost")
+	}
+	if c.SharedNVEMCache && c.Base.Buffer.NVEMCacheSize <= 0 {
+		return fmt.Errorf("core: SharedNVEMCache with NVEMCacheSize = %d", c.Base.Buffer.NVEMCacheSize)
+	}
+	for i, g := range c.Generators {
+		if g == nil {
+			return fmt.Errorf("core: nil generator for node %d", i)
+		}
+		cfg := c.Base
+		cfg.Generator = g
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("core: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ClusterResult carries a multi-node run's metrics: the cluster-wide
+// aggregate over the measurement window plus each node's own view.
+type ClusterResult struct {
+	Cluster *Result   // aggregate (includes shared disk-unit and NVEM reports)
+	Nodes   []*Result // per-node metrics (no shared-device reports)
+}
+
+// Report renders the aggregate report followed by one summary line per
+// node.
+func (r *ClusterResult) Report() string {
+	out := r.Cluster.Report()
+	for i, n := range r.Nodes {
+		out += fmt.Sprintf("node %d: %s\n", i, n.String())
+	}
+	return out
+}
+
+// RunCluster executes one multi-node data-sharing simulation.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodeCfgs := make([]Config, cfg.NumNodes)
+	for i := range nodeCfgs {
+		nodeCfgs[i] = cfg.Base
+		nodeCfgs[i].Generator = cfg.Generators[i]
+	}
+	opts := clusterOpts{sharedNVEM: cfg.SharedNVEMCache}
+	if cfg.GlobalLocks {
+		opts.globalLocks = true
+		opts.instrLockMsg = cfg.InstrLockMsg
+		opts.lockMsgDelay = cfg.LockMsgDelayMS
+		if opts.instrLockMsg == 0 {
+			opts.instrLockMsg = DefaultInstrLockMsg
+		}
+		if opts.lockMsgDelay == 0 {
+			opts.lockMsgDelay = DefaultLockMsgDelayMS
+		}
+	}
+	c, err := newCluster(cfg.Base.Seed, nodeCfgs, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.runWindows()
+	out := &ClusterResult{}
+	for _, n := range c.nodes {
+		out.Nodes = append(out.Nodes, n.collect())
+	}
+	out.Cluster = c.aggregate(out.Nodes)
+	c.attachShared(out.Cluster)
+	c.finish()
+	return out, nil
+}
+
+// clusterOpts are the cluster-level switches of an internal build.
+type clusterOpts struct {
+	sharedNVEM   bool
+	globalLocks  bool
+	instrLockMsg float64
+	lockMsgDelay float64
+}
+
+// cluster wires shared storage and N nodes into one simulation kernel.
+type cluster struct {
+	s      *sim.Sim
+	units  []*storage.DiskUnit
+	nvem   *storage.NVEM
+	nodes  []*node
+	stride int // node count; txn ids are k*stride+nodeID
+
+	glocks       *cc.Global // non-nil: cluster-wide lock manager
+	instrLockMsg float64
+	lockMsgDelay float64
+	baseGlobal   cc.Stats
+
+	shared *buffer.SharedNVEMCache // non-nil: coherent shared NVEM cache
+
+	// Coherence counters (whole run; baselined at the warmup snapshot).
+	invalidations int64
+	dirtyHandoffs int64
+	baseInval     int64
+	baseHandoffs  int64
+
+	warmup, measure float64
+}
+
+// newCluster builds the shared storage and every node. nodeCfgs[0]
+// supplies the shared parameters (devices, NVEM, windows); callers
+// guarantee all node configurations agree on them.
+func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, error) {
+	shared := nodeCfgs[0]
+	c := &cluster{
+		s:            sim.New(),
+		stride:       len(nodeCfgs),
+		instrLockMsg: opts.instrLockMsg,
+		lockMsgDelay: opts.lockMsgDelay,
+		warmup:       shared.WarmupMS,
+		measure:      shared.MeasureMS,
+	}
+
+	unitRnd := rng.NewStream(seed, "disk-units")
+	for i := range shared.DiskUnits {
+		u, err := storage.NewDiskUnit(c.s, shared.DiskUnits[i], unitRnd)
+		if err != nil {
+			return nil, err
+		}
+		c.units = append(c.units, u)
+	}
+	usesNVEM := false
+	for i := range nodeCfgs {
+		usesNVEM = usesNVEM || nodeCfgs[i].Buffer.UsesNVEM()
+	}
+	if usesNVEM {
+		nvem, err := storage.NewNVEM(c.s, shared.NVEMServers, shared.NVEMDelay)
+		if err != nil {
+			return nil, err
+		}
+		c.nvem = nvem
+	}
+	if opts.sharedNVEM {
+		sc, err := buffer.NewSharedNVEMCache(shared.Buffer.NVEMCacheSize)
+		if err != nil {
+			return nil, err
+		}
+		c.shared = sc
+	}
+	if opts.globalLocks {
+		c.glocks = cc.NewGlobal(len(nodeCfgs), func(txn cc.TxnID) {
+			c.nodes[int(int64(txn)%int64(c.stride))].onLockGrant(txn)
+		})
+	}
+
+	for i := range nodeCfgs {
+		n, err := newNode(c, i, len(nodeCfgs), seed, nodeCfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// invalidate drops every other node's copy of key before writer modifies
+// the page (write-invalidate coherence). Nodes are visited in id order for
+// determinism.
+func (c *cluster) invalidate(writer int, key storage.PageKey) {
+	if c.stride == 1 {
+		return
+	}
+	for _, n := range c.nodes {
+		if n.id == writer {
+			continue
+		}
+		had, dirty := n.bm.Invalidate(key)
+		if had {
+			c.invalidations++
+			if dirty {
+				c.dirtyHandoffs++
+			}
+		}
+	}
+}
+
+// runWindows executes warm-up, snapshots every node, and runs the
+// measurement window.
+func (c *cluster) runWindows() {
+	c.s.Run(c.warmup)
+	for _, n := range c.nodes {
+		n.snapshot()
+	}
+	c.baseInval = c.invalidations
+	c.baseHandoffs = c.dirtyHandoffs
+	if c.glocks != nil {
+		c.baseGlobal = c.glocks.Stats()
+	}
+	c.s.Run(c.warmup + c.measure)
+}
+
+// finish stops the arrival streams and abandons all pending work.
+func (c *cluster) finish() {
+	for _, n := range c.nodes {
+		n.stopArrivals = true
+	}
+	c.s.Shutdown()
+}
+
+// attachShared adds the shared-device reports (disk units, NVEM
+// utilization) to a result: the single node's result in a one-node run,
+// the aggregate in a cluster run.
+func (c *cluster) attachShared(res *Result) {
+	cfg := c.nodes[0].cfg
+	for i, u := range c.units {
+		res.Units = append(res.Units, UnitReport{
+			Name:            cfg.DiskUnits[i].Name,
+			Type:            cfg.DiskUnits[i].Type,
+			Stats:           u.Stats(),
+			DiskUtilization: u.DiskUtilization(),
+			CtrlUtilization: u.ControllerUtilization(),
+		})
+	}
+	if c.nvem != nil {
+		res.NVEMUtil = c.nvem.Utilization()
+	}
+}
+
+// aggregate folds per-node window metrics into the cluster-wide result:
+// counters sum, time metrics are commit-weighted means, utilization is
+// CPU-weighted, and hit ratios are recomputed from the summed counters.
+func (c *cluster) aggregate(nodes []*Result) *Result {
+	agg := &Result{}
+	var commits float64
+	var cpuBusy, cpuCap float64
+	window := c.s.Now() - c.nodes[0].warmStartTime
+	for i, r := range nodes {
+		n := c.nodes[i]
+		agg.OfferedTPS += r.OfferedTPS
+		agg.Commits += r.Commits
+		agg.Aborts += r.Aborts
+		agg.Dropped += r.Dropped
+		agg.Throughput += r.Throughput
+		agg.LockMsgs += r.LockMsgs
+		agg.Saturated = agg.Saturated || r.Saturated
+		w := float64(r.Commits)
+		commits += w
+		agg.RespMean += w * r.RespMean
+		// Percentiles do not average; the worst node's p95 bounds the
+		// cluster-wide p95 from above (exact for homogeneous nodes).
+		if r.RespP95 > agg.RespP95 {
+			agg.RespP95 = r.RespP95
+		}
+		agg.LockWaitMean += w * r.LockWaitMean
+		agg.IOWaitMean += w * r.IOWaitMean
+		cpuBusy += (n.cpu.BusyIntegral() - n.baseCPUBusy)
+		cpuCap += float64(n.cfg.NumCPU)
+		agg.Buffer = agg.Buffer.Add(r.Buffer)
+		agg.Locks = agg.Locks.Add(r.Locks)
+		for pi, p := range r.Partitions {
+			if pi == len(agg.Partitions) {
+				agg.Partitions = append(agg.Partitions, PartitionReport{Name: p.Name})
+			}
+			agg.Partitions[pi].Fixes += p.Fixes
+			agg.Partitions[pi].MMHits += p.MMHits
+			agg.Partitions[pi].NVEMHits += p.NVEMHits
+		}
+	}
+	if commits > 0 {
+		agg.RespMean /= commits
+		agg.LockWaitMean /= commits
+		agg.IOWaitMean /= commits
+	}
+	if window > 0 && cpuCap > 0 {
+		agg.CPUUtil = cpuBusy / (cpuCap * window)
+	}
+	if agg.Buffer.Fixes > 0 {
+		agg.MMHitPct = 100 * float64(agg.Buffer.MMHits) / float64(agg.Buffer.Fixes)
+		agg.NVEMAddHitPct = 100 * float64(agg.Buffer.NVEMCacheHits) / float64(agg.Buffer.Fixes)
+	}
+	for i := range agg.Partitions {
+		p := &agg.Partitions[i]
+		if p.Fixes > 0 {
+			p.MMHitPct = 100 * float64(p.MMHits) / float64(p.Fixes)
+			p.NVEMHitPct = 100 * float64(p.NVEMHits) / float64(p.Fixes)
+		}
+	}
+	if c.glocks != nil {
+		agg.Locks = c.glocks.Stats().Sub(c.baseGlobal)
+	}
+	agg.Invalidations = c.invalidations - c.baseInval
+	agg.DirtyHandoffs = c.dirtyHandoffs - c.baseHandoffs
+	return agg
+}

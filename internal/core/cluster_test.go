@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// dcCluster builds an N-node Debit-Credit cluster over the dcConfig
+// template: the aggregate rate splits evenly, nodes share the disk units
+// and (with sharedNVEM) one NVEM cache, all under the global lock manager.
+func dcCluster(t *testing.T, nodes int, aggregateRate float64, sharedNVEM bool) ClusterConfig {
+	t.Helper()
+	base := dcConfig(t, aggregateRate/float64(nodes))
+	base.WarmupMS = 1500
+	base.MeasureMS = 4000
+	gens := make([]workload.Generator, nodes)
+	for i := range gens {
+		gen, err := workload.NewDebitCredit(workload.DefaultDebitCreditConfig(aggregateRate / float64(nodes)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[i] = gen
+	}
+	cfg := ClusterConfig{
+		Base:        base,
+		NumNodes:    nodes,
+		Generators:  gens,
+		GlobalLocks: true,
+	}
+	if sharedNVEM {
+		for i := range cfg.Base.Buffer.Partitions {
+			cfg.Base.Buffer.Partitions[i].NVEMCache = true
+		}
+		cfg.Base.Buffer.NVEMCacheSize = 1000
+		cfg.SharedNVEMCache = true
+	}
+	return cfg
+}
+
+// TestClusterValidate covers the cluster-level configuration checks.
+func TestClusterValidate(t *testing.T) {
+	cfg := dcCluster(t, 2, 200, false)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.NumNodes = 0
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("NumNodes = 0 must error")
+	}
+	bad = cfg
+	bad.Generators = bad.Generators[:1]
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("generator count mismatch must error")
+	}
+	bad = dcCluster(t, 2, 200, false)
+	bad.SharedNVEMCache = true // without NVEMCacheSize
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("shared cache without a size must error")
+	}
+	bad = dcCluster(t, 2, 200, false)
+	bad.Generators[1] = nil
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("nil generator must error")
+	}
+}
+
+// TestSingleNodeClusterMatchesRun: a one-node cluster is the classic
+// engine — same seed, same metrics as core.Run.
+func TestSingleNodeClusterMatchesRun(t *testing.T) {
+	single, err := Run(dcConfig(t, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dcConfig(t, 150)
+	res, err := RunCluster(ClusterConfig{
+		Base:       base,
+		NumNodes:   1,
+		Generators: []workload.Generator{base.Generator},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Cluster.String(), single.String(); got != want {
+		t.Fatalf("one-node cluster diverged from Run:\n%s\nvs\n%s", got, want)
+	}
+	if res.Cluster.Commits != single.Commits || res.Cluster.Dropped != single.Dropped {
+		t.Fatalf("counter mismatch: %+v vs %+v", res.Cluster, single)
+	}
+	if res.Cluster.Buffer != single.Buffer {
+		t.Fatalf("buffer stats mismatch:\n%+v\nvs\n%+v", res.Cluster.Buffer, single.Buffer)
+	}
+	if len(res.Nodes) != 1 {
+		t.Fatalf("%d node results, want 1", len(res.Nodes))
+	}
+}
+
+// TestClusterDeterministic: identical cluster runs render byte-identical
+// reports.
+func TestClusterDeterministic(t *testing.T) {
+	a, err := RunCluster(dcCluster(t, 3, 240, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCluster(dcCluster(t, 3, 240, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar, br := a.Report(), b.Report(); ar != br {
+		t.Fatalf("cluster runs diverged:\n%s\nvs\n%s", ar, br)
+	}
+}
+
+// TestClusterSharedNVEMAndCoherence: a multi-node shared-cache run must
+// show cross-node activity: second-level hits, remote-write invalidations
+// and dirty hand-offs, and per-node metrics that sum to the aggregate.
+func TestClusterSharedNVEMAndCoherence(t *testing.T) {
+	res, err := RunCluster(dcCluster(t, 2, 300, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Cluster
+	if agg.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if agg.Buffer.NVEMCacheHits == 0 {
+		t.Fatal("shared NVEM cache never hit")
+	}
+	if agg.Invalidations == 0 {
+		t.Fatal("no coherence invalidations despite shared write traffic")
+	}
+	if agg.DirtyHandoffs == 0 {
+		t.Fatal("no dirty hand-offs despite update transactions")
+	}
+	if agg.LockMsgs == 0 {
+		t.Fatal("global locking produced no messages")
+	}
+	var commits, msgs int64
+	for _, n := range res.Nodes {
+		commits += n.Commits
+		msgs += n.LockMsgs
+		if n.Commits == 0 {
+			t.Fatalf("idle node in a balanced cluster: %+v", n)
+		}
+	}
+	if commits != agg.Commits {
+		t.Fatalf("node commits sum %d != aggregate %d", commits, agg.Commits)
+	}
+	if msgs != agg.LockMsgs {
+		t.Fatalf("node lock messages sum %d != aggregate %d", msgs, agg.LockMsgs)
+	}
+	// Throughput must still track the aggregate offered load.
+	if math.Abs(agg.Throughput-300) > 25 {
+		t.Fatalf("aggregate throughput %v, want ~300", agg.Throughput)
+	}
+}
+
+// TestGlobalLockingCostsMoreThanLocal: the message pathlength and round
+// trips of the global lock manager must show up as higher response time
+// than idealized local locking on the same workload.
+func TestGlobalLockingCostsMoreThanLocal(t *testing.T) {
+	local := dcCluster(t, 2, 200, false)
+	local.GlobalLocks = false
+	lres, err := RunCluster(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := dcCluster(t, 2, 200, false)
+	global.InstrLockMsg = 20_000 // exaggerate so the ordering is robust
+	gres, err := RunCluster(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Cluster.LockMsgs != 0 {
+		t.Fatalf("local locking sent %d messages", lres.Cluster.LockMsgs)
+	}
+	if gres.Cluster.LockMsgs == 0 {
+		t.Fatal("global locking sent no messages")
+	}
+	if gres.Cluster.RespMean <= lres.Cluster.RespMean {
+		t.Fatalf("global locking (%.2f ms) not slower than local (%.2f ms)",
+			gres.Cluster.RespMean, lres.Cluster.RespMean)
+	}
+}

@@ -12,8 +12,14 @@ import (
 	"repro/internal/workload"
 )
 
-// engine is one wired-up simulation instance.
-type engine struct {
+// node is one transaction-processing system: its own CPUs, MPL slots,
+// main-memory buffer, lock state and workload arrival streams. Shared
+// storage (disk units, NVEM) and cluster-wide concerns (global lock
+// manager, buffer coherence) live on the owning cluster; a classic
+// single-system run is a cluster of one node.
+type node struct {
+	c   *cluster
+	id  int
 	cfg Config
 	s   *sim.Sim
 
@@ -22,18 +28,19 @@ type engine struct {
 	nvem    *storage.NVEM
 	units   []*storage.DiskUnit
 	bm      *buffer.Manager
-	locks   *cc.Manager
+	locks   *cc.Manager // local lock manager; nil under global locking
 	waiting map[cc.TxnID]func()
 
 	// Random streams: one per concern for reproducibility.
-	cpuRnd  *rng.Stream
-	genRnd  *rng.Stream
-	arrRnd  *rng.Stream
-	unitRnd *rng.Stream
+	cpuRnd *rng.Stream
+	genRnd *rng.Stream
+	arrRnd *rng.Stream
 
-	nextTxn cc.TxnID
+	nextTxn int64
 
-	// Measurement.
+	// Measurement. Counters guarded by warm (or baselined at snapshot)
+	// cover exactly the measurement window; see DESIGN.md for the
+	// measurement-window contract.
 	warm          bool
 	resp          *stats.Summary
 	lockWait      *stats.Summary
@@ -46,91 +53,105 @@ type engine struct {
 	basePart      []buffer.PartitionStats
 	baseLocks     cc.Stats
 	baseCPUBusy   float64
+	baseLockMsgs  int64
 	warmStartTime sim.Time
 }
 
-// Run executes one simulation described by cfg and returns its metrics.
+// Run executes one single-node simulation described by cfg and returns its
+// metrics.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{
+	c, err := newCluster(cfg.Seed, []Config{cfg}, clusterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	c.runWindows()
+	res := c.nodes[0].collect()
+	c.attachShared(res)
+	c.finish()
+	return res, nil
+}
+
+// newNode wires one transaction system into the cluster's kernel. stream
+// names carry a node suffix only in multi-node runs, so single-node runs
+// draw the exact random sequences of the original engine.
+func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error) {
+	suffix := func(base string) string {
+		if numNodes == 1 {
+			return base
+		}
+		return fmt.Sprintf("%s/n%d", base, id)
+	}
+	n := &node{
+		c:        c,
+		id:       id,
 		cfg:      cfg,
-		s:        sim.New(),
+		s:        c.s,
+		nvem:     c.nvem,
+		units:    c.units,
 		waiting:  make(map[cc.TxnID]func()),
 		resp:     stats.NewSummary("response", true),
 		lockWait: stats.NewSummary("lock-wait", false),
 		ioWait:   stats.NewSummary("io-wait", false),
-		cpuRnd:   rng.NewStream(cfg.Seed, "cpu"),
-		genRnd:   rng.NewStream(cfg.Seed, "workload"),
-		arrRnd:   rng.NewStream(cfg.Seed, "arrivals"),
-		unitRnd:  rng.NewStream(cfg.Seed, "disk-units"),
+		cpuRnd:   rng.NewStream(seed, suffix("cpu")),
+		genRnd:   rng.NewStream(seed, suffix("workload")),
+		arrRnd:   rng.NewStream(seed, suffix("arrivals")),
 	}
-	e.cpu = e.s.NewResource("cpu", cfg.NumCPU)
-	e.mpl = e.s.NewResource("mpl", cfg.MPL)
-
-	for i := range cfg.DiskUnits {
-		u, err := storage.NewDiskUnit(e.s, cfg.DiskUnits[i], e.unitRnd)
-		if err != nil {
-			return nil, err
-		}
-		e.units = append(e.units, u)
-	}
-	if cfg.Buffer.UsesNVEM() {
-		nvem, err := storage.NewNVEM(e.s, cfg.NVEMServers, cfg.NVEMDelay)
-		if err != nil {
-			return nil, err
-		}
-		e.nvem = nvem
-	}
+	n.cpu = c.s.NewResource(suffix("cpu"), cfg.NumCPU)
+	n.mpl = c.s.NewResource(suffix("mpl"), cfg.MPL)
 
 	names := make([]string, len(cfg.Partitions))
 	for i := range cfg.Partitions {
 		names[i] = cfg.Partitions[i].Name
 	}
-	bm, err := buffer.New(cfg.Buffer, names, e.units, e.nvem, e)
+	bm, err := buffer.NewShared(cfg.Buffer, names, c.units, c.nvem, n, c.shared)
 	if err != nil {
 		return nil, err
 	}
-	e.bm = bm
-	e.locks = cc.NewManager(e.onLockGrant)
+	n.bm = bm
+	if c.glocks == nil {
+		n.locks = cc.NewManager(n.onLockGrant)
+	}
 
 	// Arrival processes, one per transaction type.
 	for i := 0; i < cfg.Generator.NumTypes(); i++ {
-		e.spawnArrivals(i)
+		n.spawnArrivals(i)
 	}
+	return n, nil
+}
 
-	// Warm-up, snapshot, measure.
-	e.s.Run(cfg.WarmupMS)
-	e.snapshot()
-	e.s.Run(cfg.WarmupMS + cfg.MeasureMS)
-	res := e.collect()
-	e.stopArrivals = true
-	e.s.Shutdown()
-	return res, nil
+// newTxn allocates a cluster-unique transaction id: node ids interleave,
+// so id mod the node count recovers the owner (the global lock manager's
+// grant routing relies on this). With one node this degenerates to the
+// plain 1, 2, 3, ... sequence.
+func (e *node) newTxn() cc.TxnID {
+	e.nextTxn++
+	return cc.TxnID(e.nextTxn*int64(e.c.stride) + int64(e.id))
 }
 
 // --- buffer.Host implementation ---
 
 // instrTime converts an exponentially drawn instruction count to CPU
 // milliseconds (MIPS = thousand instructions per millisecond).
-func (e *engine) instrTime(meanInstr float64) sim.Time {
+func (e *node) instrTime(meanInstr float64) sim.Time {
 	return e.cpuRnd.Exp(meanInstr) / (e.cfg.MIPS * 1000)
 }
 
 // cpuBurst runs an exponentially distributed instruction burst on a CPU,
 // then k. The burst length is drawn when the burst is issued (before any
 // CPU queueing), matching the paper's open queueing model.
-func (e *engine) cpuBurst(p *sim.Process, meanInstr float64, k func()) {
+func (e *node) cpuBurst(p *sim.Process, meanInstr float64, k func()) {
 	e.cpu.Use(p, e.instrTime(meanInstr), k)
 }
 
 // IOOverhead implements buffer.Host: the CPU pathlength of one I/O.
-func (e *engine) IOOverhead(p *sim.Process, k func()) { e.cpuBurst(p, e.cfg.InstrIO, k) }
+func (e *node) IOOverhead(p *sim.Process, k func()) { e.cpuBurst(p, e.cfg.InstrIO, k) }
 
 // SyncDeviceIO implements buffer.Host: the whole device access runs with
 // the CPU held (AccessMode=synchronous, Table 3.3).
-func (e *engine) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
+func (e *node) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
 	e.cpu.Acquire(p, func(sim.Time) {
 		p.Hold(e.instrTime(e.cfg.InstrIO), func() {
 			dev(func() {
@@ -144,7 +165,7 @@ func (e *engine) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
 // NVEMTransfer implements buffer.Host: a synchronous NVEM page transfer —
 // the CPU stays busy for the instruction overhead AND the transfer itself
 // (a process switch would cost more than the 50µs delay, section 2).
-func (e *engine) NVEMTransfer(p *sim.Process, k func()) {
+func (e *node) NVEMTransfer(p *sim.Process, k func()) {
 	e.cpu.Acquire(p, func(sim.Time) {
 		p.Hold(e.instrTime(e.cfg.InstrNVEM), func() {
 			e.nvem.Access(p, func() {
@@ -156,13 +177,13 @@ func (e *engine) NVEMTransfer(p *sim.Process, k func()) {
 }
 
 // SpawnAsync implements buffer.Host.
-func (e *engine) SpawnAsync(name string, fn func(p *sim.Process)) {
+func (e *node) SpawnAsync(name string, fn func(p *sim.Process)) {
 	e.s.Spawn(name, 0, fn)
 }
 
 // --- lock integration ---
 
-func (e *engine) onLockGrant(txn cc.TxnID) {
+func (e *node) onLockGrant(txn cc.TxnID) {
 	k, ok := e.waiting[txn]
 	if !ok {
 		return
@@ -173,8 +194,10 @@ func (e *engine) onLockGrant(txn cc.TxnID) {
 
 // acquireLock requests the access's lock and runs k with the outcome: false
 // on deadlock (the caller must abort). On a conflict k is deferred until the
-// lock manager grants the queued request.
-func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k func(ok bool)) {
+// lock manager grants the queued request. Under global locking the request
+// first pays the message pathlength and round trip to the cluster-wide lock
+// manager.
+func (e *node) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k func(ok bool)) {
 	granularity := e.cfg.CCModes[acc.Partition]
 	if granularity == cc.NoCC {
 		k(true)
@@ -188,13 +211,32 @@ func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access,
 	if acc.Write {
 		mode = cc.Write
 	}
-	switch e.locks.Acquire(txn, cc.Granule{Partition: acc.Partition, ID: id}, mode) {
+	g := cc.Granule{Partition: acc.Partition, ID: id}
+	if gl := e.c.glocks; gl != nil {
+		e.cpuBurst(p, e.c.instrLockMsg, func() {
+			p.Hold(e.c.lockMsgDelay, func() {
+				e.onAcquired(p, txn, gl.AcquireFrom(e.id, txn, g, mode), k)
+			})
+		})
+		return
+	}
+	e.onAcquired(p, txn, e.locks.Acquire(txn, g, mode), k)
+}
+
+// onAcquired continues after the lock manager's verdict.
+func (e *node) onAcquired(p *sim.Process, txn cc.TxnID, res cc.Result, k func(ok bool)) {
+	switch res {
 	case cc.Granted:
 		k(true)
 	case cc.Wait:
 		start := p.Now()
 		e.waiting[txn] = func() {
 			if e.warm {
+				// A wait straddling the warmup boundary is only credited
+				// its in-window part.
+				if start < e.warmStartTime {
+					start = e.warmStartTime
+				}
 				e.lockWait.Add(p.Now() - start)
 			}
 			k(true)
@@ -204,9 +246,19 @@ func (e *engine) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access,
 	}
 }
 
+// releaseLocks releases the transaction's locks at the local or global
+// lock manager.
+func (e *node) releaseLocks(txn cc.TxnID) {
+	if e.c.glocks != nil {
+		e.c.glocks.ReleaseAllFrom(e.id, txn)
+		return
+	}
+	e.locks.ReleaseAll(txn)
+}
+
 // --- workload arrival and transaction execution ---
 
-func (e *engine) spawnArrivals(typeIdx int) {
+func (e *node) spawnArrivals(typeIdx int) {
 	_, rate := e.cfg.Generator.TypeInfo(typeIdx)
 	if rate <= 0 {
 		return
@@ -224,7 +276,11 @@ func (e *engine) spawnArrivals(typeIdx int) {
 			tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
 			if len(tx.Accesses) > 0 {
 				if e.mpl.QueueLen() >= e.cfg.MaxQueue {
-					e.dropped++
+					// Dropped arrivals count only inside the measurement
+					// window, like commits and aborts.
+					if e.warm {
+						e.dropped++
+					}
 				} else {
 					e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
 				}
@@ -255,7 +311,7 @@ const (
 // page fixes and the two commit phases, restarting on deadlock aborts
 // (access invariance: the restarted transaction repeats the same accesses).
 type txRun struct {
-	e       *engine
+	e       *node
 	p       *sim.Process
 	tx      workload.Tx
 	txn     cc.TxnID
@@ -264,6 +320,7 @@ type txRun struct {
 	start   sim.Time // current fix start
 	i       int      // next access index
 	state   txState
+	relPaid bool // release-message pathlength charged (global locking)
 
 	// Pre-bound continuations, one allocation each per transaction.
 	admitted func(sim.Time)
@@ -272,7 +329,7 @@ type txRun struct {
 }
 
 // runTx executes one transaction to commit.
-func (e *engine) runTx(p *sim.Process, tx workload.Tx) {
+func (e *node) runTx(p *sim.Process, tx workload.Tx) {
 	t := &txRun{e: e, p: p, tx: tx, arrival: p.Now()}
 	t.admitted = t.onAdmitted
 	t.resume = t.dispatch
@@ -302,10 +359,10 @@ func (t *txRun) onAdmitted(sim.Time) { t.beginAttempt() }
 // beginAttempt starts one execution attempt under a fresh transaction id.
 // The BOT burst guarantees simulated time advances between attempts.
 func (t *txRun) beginAttempt() {
-	t.e.nextTxn++
-	t.txn = t.e.nextTxn
+	t.txn = t.e.newTxn()
 	t.i = 0
 	t.state = txStep
+	t.relPaid = false
 	t.e.cpuBurst(t.p, t.e.cfg.InstrBOT, t.resume)
 }
 
@@ -320,34 +377,52 @@ func (t *txRun) doStep() {
 }
 
 // onLocked continues after the lock decision: fix the page, or abort on
-// deadlock.
+// deadlock. In a multi-node cluster a write fix first invalidates every
+// other node's copy of the page (write-invalidate coherence).
 func (t *txRun) onLocked(ok bool) {
 	if !ok {
 		t.abort() // deadlock victim
 		return
 	}
 	acc := &t.tx.Accesses[t.i]
+	key := storage.PageKey{Partition: acc.Partition, Page: acc.Page}
+	if acc.Write {
+		t.e.c.invalidate(t.e.id, key)
+	}
 	t.start = t.p.Now()
 	t.state = txFixed
-	t.e.bm.Fix(t.p, storage.PageKey{Partition: acc.Partition, Page: acc.Page}, acc.Write, t.resume)
+	t.e.bm.Fix(t.p, key, acc.Write, t.resume)
 }
 
-// onFixed accounts the fix delay and runs the per-access CPU burst.
+// onFixed accounts the fix delay and runs the per-access CPU burst. A fix
+// straddling the warmup boundary is only credited its in-window part.
 func (t *txRun) onFixed() {
 	if t.e.warm {
-		t.fixTime += t.p.Now() - t.start
+		start := t.start
+		if start < t.e.warmStartTime {
+			start = t.e.warmStartTime
+		}
+		t.fixTime += t.p.Now() - start
 	}
 	t.i++
 	t.state = txStep
 	t.e.cpuBurst(t.p, t.e.cfg.InstrOR, t.resume)
 }
 
-// abort releases everything and retries the whole transaction.
+// abort releases everything and retries the whole transaction. Under
+// global locking the release message's pathlength is charged first.
 func (t *txRun) abort() {
 	if t.e.warm {
 		t.e.aborts++
 	}
-	t.e.locks.ReleaseAll(t.txn)
+	if t.e.c.glocks != nil {
+		t.e.cpuBurst(t.p, t.e.c.instrLockMsg, func() {
+			t.e.releaseLocks(t.txn)
+			t.beginAttempt()
+		})
+		return
+	}
+	t.e.releaseLocks(t.txn)
 	t.beginAttempt()
 }
 
@@ -373,10 +448,17 @@ func (t *txRun) onLogged() {
 }
 
 // finish is commit phase 2: release locks, record measurements, free the
-// MPL slot.
+// MPL slot. Under global locking the release message's CPU pathlength is
+// charged before the locks drop.
 func (t *txRun) finish() {
 	e := t.e
-	e.locks.ReleaseAll(t.txn)
+	if e.c.glocks != nil && !t.relPaid {
+		t.relPaid = true
+		t.state = txFinish
+		e.cpuBurst(t.p, e.c.instrLockMsg, t.resume)
+		return
+	}
+	e.releaseLocks(t.txn)
 	if e.warm {
 		e.commits++
 		e.resp.Add(t.p.Now() - t.arrival)
@@ -407,16 +489,28 @@ func modifiedPages(tx workload.Tx) []storage.PageKey {
 
 // --- measurement ---
 
-func (e *engine) snapshot() {
+// snapshot opens the measurement window: counters guarded by warm start
+// accumulating, and cumulative statistics (buffer, partition, lock, CPU
+// busy integral, lock messages, peak input queue) are baselined so collect
+// can report window deltas.
+func (e *node) snapshot() {
 	e.warm = true
 	e.warmStartTime = e.s.Now()
 	e.baseBuf = e.bm.Stats()
 	e.basePart = e.bm.PartitionStats()
-	e.baseLocks = e.locks.Stats()
+	if e.locks != nil {
+		e.baseLocks = e.locks.Stats()
+	}
+	if e.c.glocks != nil {
+		e.baseLockMsgs = e.c.glocks.Messages(e.id)
+	}
 	e.baseCPUBusy = e.cpu.BusyIntegral()
+	e.mpl.ResetPeakQueueLen()
 }
 
-func (e *engine) collect() *Result {
+// collect reports the node's measurement-window metrics. Shared-device
+// reports (disk units, NVEM utilization) are attached by the cluster.
+func (e *node) collect() *Result {
 	window := e.s.Now() - e.warmStartTime
 	res := &Result{
 		Commits: e.commits,
@@ -439,10 +533,18 @@ func (e *engine) collect() *Result {
 		res.LockWaitMean = e.lockWait.Sum() / float64(e.commits)
 		res.IOWaitMean = e.ioWait.Sum() / float64(e.commits)
 	}
-	res.Saturated = e.dropped > 0 || e.mpl.QueueLen() >= e.cfg.MaxQueue/2
+	// Saturation over the measured window: drops are window-only, and the
+	// peak queue length (not the instantaneous end-of-run length, which a
+	// single lucky drain can hide) marks sustained overload.
+	res.Saturated = e.dropped > 0 || e.mpl.PeakQueueLen() >= e.cfg.MaxQueue/2
 
-	res.Buffer = subBufferStats(e.bm.Stats(), e.baseBuf)
-	res.Locks = subLockStats(e.locks.Stats(), e.baseLocks)
+	res.Buffer = e.bm.Stats().Sub(e.baseBuf)
+	if e.locks != nil {
+		res.Locks = e.locks.Stats().Sub(e.baseLocks)
+	}
+	if e.c.glocks != nil {
+		res.LockMsgs = e.c.glocks.Messages(e.id) - e.baseLockMsgs
+	}
 	if res.Buffer.Fixes > 0 {
 		res.MMHitPct = 100 * float64(res.Buffer.MMHits) / float64(res.Buffer.Fixes)
 		res.NVEMAddHitPct = 100 * float64(res.Buffer.NVEMCacheHits) / float64(res.Buffer.Fixes)
@@ -454,24 +556,13 @@ func (e *engine) collect() *Result {
 			MMHits:   parts[i].MMHits - e.basePart[i].MMHits,
 			NVEMHits: parts[i].NVEMHits - e.basePart[i].NVEMHits,
 		}
-		pr := PartitionReport{Name: e.cfg.Partitions[i].Name, Fixes: d.Fixes}
+		pr := PartitionReport{Name: e.cfg.Partitions[i].Name, Fixes: d.Fixes,
+			MMHits: d.MMHits, NVEMHits: d.NVEMHits}
 		if d.Fixes > 0 {
 			pr.MMHitPct = 100 * float64(d.MMHits) / float64(d.Fixes)
 			pr.NVEMHitPct = 100 * float64(d.NVEMHits) / float64(d.Fixes)
 		}
 		res.Partitions = append(res.Partitions, pr)
-	}
-	for i, u := range e.units {
-		res.Units = append(res.Units, UnitReport{
-			Name:            e.cfg.DiskUnits[i].Name,
-			Type:            e.cfg.DiskUnits[i].Type,
-			Stats:           u.Stats(),
-			DiskUtilization: u.DiskUtilization(),
-			CtrlUtilization: u.ControllerUtilization(),
-		})
-	}
-	if e.nvem != nil {
-		res.NVEMUtil = e.nvem.Utilization()
 	}
 	return res
 }

@@ -10,10 +10,13 @@ import (
 )
 
 // PartitionReport is the per-partition hit breakdown over the measurement
-// window.
+// window. Raw hit counters ride along so cluster aggregation can recompute
+// exact percentages from summed counts.
 type PartitionReport struct {
 	Name       string
 	Fixes      int64
+	MMHits     int64
+	NVEMHits   int64
 	MMHitPct   float64
 	NVEMHitPct float64
 }
@@ -56,6 +59,11 @@ type Result struct {
 	Buffer buffer.Stats // window delta
 	Locks  cc.Stats     // window delta
 	Units  []UnitReport
+
+	// Data-sharing cluster metrics (zero for single-node runs).
+	LockMsgs      int64 // messages to the global lock manager (window)
+	Invalidations int64 // MM copies invalidated by remote writers (window; aggregate only)
+	DirtyHandoffs int64 // invalidations that handed off a dirty copy (window; aggregate only)
 }
 
 // String renders a compact one-line summary for logs and examples.
@@ -90,41 +98,15 @@ func (r *Result) Report() string {
 			u.Name, u.Type, u.Stats.Reads, u.Stats.Writes, u.Stats.ReadHits,
 			u.Stats.WriteHits, u.Stats.Destages, 100*u.DiskUtilization, 100*u.CtrlUtilization)
 	}
+	if r.LockMsgs > 0 {
+		fmt.Fprintf(&b, "global lock msgs:  %d\n", r.LockMsgs)
+	}
+	if r.Invalidations > 0 {
+		fmt.Fprintf(&b, "coherence:         %d invalidations (%d dirty hand-offs)\n",
+			r.Invalidations, r.DirtyHandoffs)
+	}
 	if r.Saturated {
 		fmt.Fprintf(&b, "WARNING: input queue saturated; offered load exceeds capacity\n")
 	}
 	return b.String()
-}
-
-// subBufferStats returns a-b field-wise.
-func subBufferStats(a, b buffer.Stats) buffer.Stats {
-	return buffer.Stats{
-		Fixes:           a.Fixes - b.Fixes,
-		MMHits:          a.MMHits - b.MMHits,
-		ResidentFixes:   a.ResidentFixes - b.ResidentFixes,
-		NVEMCacheHits:   a.NVEMCacheHits - b.NVEMCacheHits,
-		NVEMReads:       a.NVEMReads - b.NVEMReads,
-		DeviceReads:     a.DeviceReads - b.DeviceReads,
-		VictimWrites:    a.VictimWrites - b.VictimWrites,
-		VictimAsync:     a.VictimAsync - b.VictimAsync,
-		VictimToWB:      a.VictimToWB - b.VictimToWB,
-		VictimToNVEM:    a.VictimToNVEM - b.VictimToNVEM,
-		CleanDrops:      a.CleanDrops - b.CleanDrops,
-		WBFullSync:      a.WBFullSync - b.WBFullSync,
-		AsyncDiskWrites: a.AsyncDiskWrites - b.AsyncDiskWrites,
-		NVEMEvictWrites: a.NVEMEvictWrites - b.NVEMEvictWrites,
-		ForceWrites:     a.ForceWrites - b.ForceWrites,
-		LogWrites:       a.LogWrites - b.LogWrites,
-		GroupCommits:    a.GroupCommits - b.GroupCommits,
-	}
-}
-
-// subLockStats returns a-b field-wise.
-func subLockStats(a, b cc.Stats) cc.Stats {
-	return cc.Stats{
-		Requests:  a.Requests - b.Requests,
-		Conflicts: a.Conflicts - b.Conflicts,
-		Deadlocks: a.Deadlocks - b.Deadlocks,
-		Upgrades:  a.Upgrades - b.Upgrades,
-	}
 }

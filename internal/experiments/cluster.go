@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Multi-node data-sharing experiments (the paper's section 5 outlook:
+// extended storage as globally accessible storage shared by multiple
+// transaction systems). Every point runs core.RunCluster: N identical
+// nodes share the database disks, the log device and one global NVEM used
+// as shared second-level cache and log store, with write-invalidate
+// coherence and an optional cluster-wide lock manager.
+
+// ClusterSetup describes one multi-node simulation point. The aggregate
+// arrival rate is split evenly over the nodes, so sweeps over Nodes hold
+// the offered load constant while adding processing capacity (and
+// coherence/locking overhead).
+type ClusterSetup struct {
+	Nodes         int
+	AggregateRate float64 // TPS across the whole cluster
+	MMBuffer      int     // per-node main-memory frames (0 → 2000 split over nodes)
+	SharedNVEM    int     // shared NVEM cache frames (log goes NVEM-resident too)
+	PrivateNVEM   int     // per-node private NVEM cache frames (exclusive with SharedNVEM)
+	GlobalLocks   bool
+	Contention    bool           // section 4.7 contention workload instead of Debit-Credit
+	Granularity   cc.Granularity // lock granularity for the contention workload
+}
+
+// Build assembles the cluster configuration.
+func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
+	if s.Nodes <= 0 {
+		return core.ClusterConfig{}, fmt.Errorf("experiments: cluster with %d nodes", s.Nodes)
+	}
+	if s.SharedNVEM > 0 && s.PrivateNVEM > 0 {
+		return core.ClusterConfig{}, fmt.Errorf("experiments: shared and private NVEM caches are exclusive")
+	}
+	perNodeRate := s.AggregateRate / float64(s.Nodes)
+
+	base := core.Defaults()
+	base.Seed = o.seed()
+	base.WarmupMS, base.MeasureMS = o.windows()
+
+	gens := make([]workload.Generator, s.Nodes)
+	if s.Contention {
+		model := contentionModel(perNodeRate)
+		for i := range gens {
+			gen, err := workload.NewSynthetic(contentionModel(perNodeRate))
+			if err != nil {
+				return core.ClusterConfig{}, err
+			}
+			gens[i] = gen
+		}
+		base.Partitions = model.Partitions
+		base.CCModes = []cc.Granularity{s.Granularity, s.Granularity}
+		applyContentionPathlength(&base)
+	} else {
+		for i := range gens {
+			gen, err := workload.NewDebitCredit(workload.DefaultDebitCreditConfig(perNodeRate))
+			if err != nil {
+				return core.ClusterConfig{}, err
+			}
+			gens[i] = gen
+			if i == 0 {
+				base.Partitions = gen.Partitions()
+			}
+		}
+		base.CCModes = []cc.Granularity{cc.PageLevel, cc.PageLevel, cc.NoCC}
+	}
+
+	mm := s.MMBuffer
+	if mm == 0 {
+		mm = 2000 / s.Nodes // fixed aggregate main memory across the sweep
+	}
+	part := buffer.PartitionAlloc{DiskUnit: 0}
+	bufCfg := buffer.Config{BufferSize: mm, Logging: true}
+	logAlloc := buffer.LogAlloc{DiskUnit: 1}
+	switch {
+	case s.SharedNVEM > 0:
+		part.NVEMCache = true
+		part.NVEMCacheMode = buffer.MigrateAll
+		bufCfg.NVEMCacheSize = s.SharedNVEM
+		// The global NVEM is the cluster's log store as well.
+		logAlloc = buffer.LogAlloc{NVEMResident: true}
+	case s.PrivateNVEM > 0:
+		part.NVEMCache = true
+		part.NVEMCacheMode = buffer.MigrateAll
+		bufCfg.NVEMCacheSize = s.PrivateNVEM
+		logAlloc = buffer.LogAlloc{NVEMResident: true}
+	}
+	parts := make([]buffer.PartitionAlloc, len(base.Partitions))
+	for i := range parts {
+		parts[i] = part
+	}
+	bufCfg.Partitions = parts
+	bufCfg.Log = logAlloc
+	base.Buffer = bufCfg
+
+	base.DiskUnits = []storage.DiskUnitConfig{
+		{Name: "db", Type: storage.Regular, NumControllers: 12,
+			ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
+			NumDisks: 96, DiskDelay: core.DefaultDBDiskDelay},
+		{Name: "log", Type: storage.Regular, NumControllers: 2,
+			ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
+			NumDisks: 8, DiskDelay: core.DefaultLogDiskDelay},
+	}
+
+	return core.ClusterConfig{
+		Base:            base,
+		NumNodes:        s.Nodes,
+		Generators:      gens,
+		SharedNVEMCache: s.SharedNVEM > 0,
+		GlobalLocks:     s.GlobalLocks,
+	}, nil
+}
+
+// Run builds and executes the setup, returning the cluster-wide aggregate
+// (which plugs into the shared figure machinery).
+func (s ClusterSetup) Run(o Options) (*core.Result, error) {
+	cfg, err := s.Build(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Cluster, nil
+}
+
+// nodeCounts is the node-count sweep of the scale-out experiment.
+func (o Options) nodeCounts() []float64 {
+	if o.Quick {
+		return []float64{1, 2, 4}
+	}
+	return []float64{1, 2, 4, 8}
+}
+
+// ClusterScaleout sweeps the node count at a fixed aggregate load: shared
+// NVEM (second-level cache + log) against a disk-only allocation, both
+// under global locking. Per-node main memory shrinks as 2000/N frames, so
+// aggregate memory is constant: the shared NVEM cache absorbs the local
+// hit-ratio loss while disk-only clusters pay it in I/O.
+func ClusterScaleout(o Options) (*stats.Figure, *stats.Figure, error) {
+	resp := &stats.Figure{
+		Title:  "Cluster scale-out at 400 TPS aggregate (Debit-Credit, global locks)",
+		XLabel: "nodes",
+		YLabel: "mean response time [ms]",
+		X:      o.nodeCounts(),
+	}
+	hits := &stats.Figure{
+		Title:  "Cluster scale-out: aggregate hit ratios",
+		XLabel: "nodes",
+		YLabel: "hit ratio [%]",
+		X:      o.nodeCounts(),
+	}
+	type scheme struct {
+		label  string
+		shared int
+	}
+	schemes := []scheme{
+		{"shared-nvem", 2000},
+		{"disk-only", 0},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	g := newGrid(o, len(schemes), len(resp.X))
+	for si := range schemes {
+		for xi := range resp.X {
+			si, xi := si, xi
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				sc, nodes := schemes[si], int(resp.X[xi])
+				res, err := ClusterSetup{Nodes: nodes, AggregateRate: 400,
+					SharedNVEM: sc.shared, GlobalLocks: true}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("cluster.scaleout %s @%d: %w", sc.label, nodes, err)
+				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, label := range labels {
+		points, cis := seriesOf(cells[si], respMean)
+		if err := resp.AddSeriesCI(label, points, cis); err != nil {
+			return nil, nil, err
+		}
+		mm, mmCI := seriesOf(cells[si], mmHitPct)
+		if err := hits.AddSeriesCI(label+":mm", mm, mmCI); err != nil {
+			return nil, nil, err
+		}
+	}
+	nvemPts, nvemCI := seriesOf(cells[0], nvemAddHitPct)
+	if err := hits.AddSeriesCI("shared-nvem:nvem", nvemPts, nvemCI); err != nil {
+		return nil, nil, err
+	}
+	return resp, hits, nil
+}
+
+// ClusterAllocation compares, at four nodes over an aggregate-rate sweep,
+// one shared NVEM cache against the same frames split into private
+// per-node caches and against the disk-only baseline. The shared pool
+// avoids replicating hot pages once per node and serves remote destages.
+func ClusterAllocation(o Options) (*stats.Figure, error) {
+	fig := &stats.Figure{
+		Title:  "Shared vs. private NVEM caching, 4-node data sharing (Debit-Credit)",
+		XLabel: "aggregate TPS",
+		YLabel: "mean response time [ms]",
+		X:      o.rates(),
+	}
+	const nodes = 4
+	type scheme struct {
+		label           string
+		shared, private int
+	}
+	schemes := []scheme{
+		{"shared-nvem-cache", 2000, 0},
+		{"private-nvem-caches", 0, 2000 / nodes},
+		{"disk-only", 0, 0},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	err := sweepFigure(o, fig, labels, func(si, xi int, o Options) (*core.Result, error) {
+		sc, rate := schemes[si], fig.X[xi]
+		res, err := ClusterSetup{Nodes: nodes, AggregateRate: rate,
+			SharedNVEM: sc.shared, PrivateNVEM: sc.private, GlobalLocks: true}.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("cluster.allocation %s @%v: %w", sc.label, rate, err)
+		}
+		return res, nil
+	}, respMean)
+	if err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// lockMsgsPerTx is the global lock-manager message traffic per committed
+// transaction.
+func lockMsgsPerTx(r *core.Result) float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.LockMsgs) / float64(r.Commits)
+}
+
+// ClusterLocking runs the section 4.7 contention workload on a two-node
+// cluster: idealized local locking (no messages) against the global lock
+// manager at page and object granularity. The second figure pins the
+// message traffic the global manager costs per transaction.
+func ClusterLocking(o Options) (*stats.Figure, *stats.Figure, error) {
+	resp := &stats.Figure{
+		Title:  "Global vs. local locking under contention (2-node data sharing)",
+		XLabel: "TPS",
+		YLabel: "mean response time [ms]",
+		X:      o.rates(),
+	}
+	msgs := &stats.Figure{
+		Title:  "Global lock-manager messages",
+		XLabel: "TPS",
+		YLabel: "messages per committed tx",
+		X:      o.rates(),
+	}
+	type scheme struct {
+		label  string
+		global bool
+		gran   cc.Granularity
+	}
+	schemes := []scheme{
+		{"local:page-locks", false, cc.PageLevel},
+		{"global:page-locks", true, cc.PageLevel},
+		{"global:object-locks", true, cc.ObjectLevel},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	g := newGrid(o, len(schemes), len(resp.X))
+	for si := range schemes {
+		for xi := range resp.X {
+			si, xi := si, xi
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				sc, rate := schemes[si], resp.X[xi]
+				res, err := ClusterSetup{Nodes: 2, AggregateRate: rate,
+					GlobalLocks: sc.global, Contention: true, Granularity: sc.gran}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("cluster.locking %s @%v: %w", sc.label, rate, err)
+				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, label := range labels {
+		points, cis := seriesOf(cells[si], respMean)
+		if err := resp.AddSeriesCI(label, points, cis); err != nil {
+			return nil, nil, err
+		}
+		if !schemes[si].global {
+			continue
+		}
+		m, mCI := seriesOf(cells[si], lockMsgsPerTx)
+		if err := msgs.AddSeriesCI(label, m, mCI); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, msgs, nil
+}

@@ -48,9 +48,12 @@ type ContentionSetup struct {
 	Granularity cc.Granularity
 }
 
-// Build assembles the engine configuration.
-func (s ContentionSetup) Build(o Options) (core.Config, error) {
-	model := &workload.Model{
+// contentionModel is the section 4.7 workload at the given arrival rate:
+// one variable-size update type averaging ten object references, 80% of
+// accesses on a small hot partition. Shared by Fig 4.8 and the
+// cluster.locking experiment so both provably run the same workload.
+func contentionModel(rate float64) *workload.Model {
+	return &workload.Model{
 		Partitions: []workload.Partition{
 			{Name: "hot", NumObjects: 10_000, BlockFactor: 10},
 			{Name: "cold", NumObjects: 100_000, BlockFactor: 10},
@@ -58,7 +61,7 @@ func (s ContentionSetup) Build(o Options) (core.Config, error) {
 		TxTypes: []workload.TxType{
 			{
 				Name:        "update",
-				ArrivalRate: s.Rate,
+				ArrivalRate: rate,
 				TxSize:      10,
 				WriteProb:   1.0,
 				VarSize:     true,
@@ -66,6 +69,20 @@ func (s ContentionSetup) Build(o Options) (core.Config, error) {
 			},
 		},
 	}
+}
+
+// applyContentionPathlength sets the per-object CPU cost so the total
+// pathlength stays at 250k instructions: "Like for Debit-Credit, an
+// average pathlength of 250.000 instructions per transaction has been
+// chosen" (section 4.7) — with ten object references the per-object cost
+// shrinks to keep the total constant.
+func applyContentionPathlength(cfg *core.Config) {
+	cfg.InstrOR = (250_000 - cfg.InstrBOT - cfg.InstrEOT) / 10
+}
+
+// Build assembles the engine configuration.
+func (s ContentionSetup) Build(o Options) (core.Config, error) {
+	model := contentionModel(s.Rate)
 	gen, err := workload.NewSynthetic(model)
 	if err != nil {
 		return core.Config{}, err
@@ -76,10 +93,7 @@ func (s ContentionSetup) Build(o Options) (core.Config, error) {
 	cfg.Partitions = model.Partitions
 	cfg.Generator = gen
 	cfg.CCModes = []cc.Granularity{s.Granularity, s.Granularity}
-	// "Like for Debit-Credit, an average pathlength of 250.000 instructions
-	// per transaction has been chosen" (section 4.7) — with ten object
-	// references the per-object cost shrinks to keep the total constant.
-	cfg.InstrOR = (250_000 - cfg.InstrBOT - cfg.InstrEOT) / 10
+	applyContentionPathlength(&cfg)
 
 	cfg.DiskUnits = []storage.DiskUnitConfig{
 		{Name: "db", Type: storage.Regular, NumControllers: 12,

@@ -47,6 +47,9 @@ func TestGoldenOutputs(t *testing.T) {
 		"ablation.migration-modes":   {"nvem-add-hit-pct"},
 		"ablation.destage-policy":    {"immediate", "deferred"},
 		"ablation.clustering":        {"clustered", "unclustered"},
+		"cluster.scaleout":           {"shared-nvem", "disk-only", "shared-nvem:nvem"},
+		"cluster.allocation":         {"shared-nvem-cache", "private-nvem-caches", "disk-only"},
+		"cluster.locking":            {"local:page-locks", "global:object-locks", "messages per committed tx"},
 	}
 	checkCorpusFiles(t)
 	for _, e := range All() {

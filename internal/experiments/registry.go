@@ -175,6 +175,39 @@ func All() []Experiment {
 			Title: "BRANCH/TELLER clustering vs. separate record types",
 			Run:   AblationClustering,
 		},
+		{
+			Name:  "cluster.scaleout",
+			Title: "Multi-node scale-out at fixed aggregate load (shared NVEM vs. disk-only)",
+			Run: func(o Options) (string, error) {
+				resp, hits, err := ClusterScaleout(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + hits.Render(), nil
+			},
+		},
+		{
+			Name:  "cluster.allocation",
+			Title: "Shared vs. private NVEM caches on a 4-node data-sharing cluster",
+			Run: func(o Options) (string, error) {
+				fig, err := ClusterAllocation(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render(), nil
+			},
+		},
+		{
+			Name:  "cluster.locking",
+			Title: "Global vs. local locking under contention (2-node data sharing)",
+			Run: func(o Options) (string, error) {
+				resp, msgs, err := ClusterLocking(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + msgs.Render(), nil
+			},
+		},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

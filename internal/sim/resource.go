@@ -21,6 +21,7 @@ type Resource struct {
 	acquires   int64
 	waits      int64 // acquires that had to queue
 	waitInt    float64
+	peakQueue  int // max queue length since creation or ResetPeakQueueLen
 }
 
 // waiter is one queued acquisition. A plain Acquire stores fire; a timed
@@ -76,6 +77,9 @@ func (r *Resource) Acquire(p *Process, k func(waited Time)) {
 	}
 	r.waits++
 	r.queue = append(r.queue, waiter{fire: k, start: r.sim.now})
+	if len(r.queue) > r.peakQueue {
+		r.peakQueue = len(r.queue)
+	}
 }
 
 // Release frees one server. If requests are waiting, the head of the queue
@@ -121,7 +125,18 @@ func (r *Resource) Use(p *Process, dt Time, k func()) {
 	}
 	r.waits++
 	r.queue = append(r.queue, waiter{k: k, dt: dt, start: r.sim.now})
+	if len(r.queue) > r.peakQueue {
+		r.peakQueue = len(r.queue)
+	}
 }
+
+// PeakQueueLen returns the maximum wait-queue length observed since the
+// resource was created or the peak was last reset.
+func (r *Resource) PeakQueueLen() int { return r.peakQueue }
+
+// ResetPeakQueueLen restarts peak tracking from the current queue length,
+// so callers can observe the peak over a measurement window.
+func (r *Resource) ResetPeakQueueLen() { r.peakQueue = len(r.queue) }
 
 // BusyIntegral returns ∫ busy dt over [0, now]; callers can snapshot it to
 // compute utilization over a measurement window.

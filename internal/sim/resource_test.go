@@ -185,3 +185,29 @@ func TestResourceInvariants(t *testing.T) {
 		t.Fatalf("queue not drained: %d", r.QueueLen())
 	}
 }
+
+// TestPeakQueueLen: the peak wait-queue length is tracked across both
+// Acquire and Use queueing, and ResetPeakQueueLen restarts tracking from
+// the current queue.
+func TestPeakQueueLen(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 1)
+	for i := 0; i < 4; i++ {
+		r.Use(nil, 10, func() {})
+	}
+	if got := r.PeakQueueLen(); got != 3 {
+		t.Fatalf("peak = %d, want 3", got)
+	}
+	s.Run(15) // one holder done, one waiter promoted: queue is 2
+	if got := r.QueueLen(); got != 2 {
+		t.Fatalf("queue = %d, want 2", got)
+	}
+	r.ResetPeakQueueLen()
+	if got := r.PeakQueueLen(); got != 2 {
+		t.Fatalf("peak after reset = %d, want current queue 2", got)
+	}
+	s.RunAll()
+	if got := r.PeakQueueLen(); got != 2 {
+		t.Fatalf("peak = %d after drain, want 2 (no growth past reset)", got)
+	}
+}
