@@ -262,6 +262,37 @@ func BenchmarkEngineDebitCreditNVEM(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRestart runs one crash-and-restart measurement per
+// iteration (the recovery.restart hot path: checkpoint daemon during the
+// run, then kill, log scan and redo through the device models).
+func BenchmarkEngineRestart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RecoverySetup{
+			DC: experiments.DCSetup{
+				Rate: 200,
+				DB:   experiments.DBSpec{Kind: experiments.DBRegular},
+				Log:  experiments.LogSpec{Kind: LogDiskKind},
+			},
+			CheckpointMS: 5_000,
+			RebootMS:     500,
+		}.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Restart.RestartMS, "restart-ms")
+	}
+}
+
+// BenchmarkRecoveryAvailability regenerates the cluster crash/rejoin
+// experiment (failure injection, arrival rerouting, redo, timeline).
+func BenchmarkRecoveryAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RecoveryAvailability(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSimKernel measures raw event throughput of the DES kernel: one

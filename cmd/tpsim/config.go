@@ -37,6 +37,31 @@ type fileConfig struct {
 
 	DiskUnits []diskUnitConfig `json:"diskUnits"`
 	Buffer    bufferConfig     `json:"buffer"`
+
+	// Cluster switches the run to a multi-node data-sharing simulation:
+	// numNodes transaction systems share the disk units and one global
+	// NVEM, and workload.rate becomes the aggregate rate split evenly
+	// over the nodes. Absent (or numNodes <= 1 with no other cluster
+	// settings): a classic single-node run.
+	Cluster *clusterConfig `json:"cluster"`
+}
+
+type clusterConfig struct {
+	NumNodes         int            `json:"numNodes"`
+	SharedNVEMCache  bool           `json:"sharedNVEMCache"`
+	GlobalLocks      bool           `json:"globalLocks"`
+	InstrLockMsg     float64        `json:"instrLockMsg"`
+	LockMsgDelayMS   float64        `json:"lockMsgDelayMS"`
+	TimelineBucketMS float64        `json:"timelineBucketMS"`
+	Failure          *failureConfig `json:"failure"`
+}
+
+// failureConfig injects one node crash (offset into the measurement
+// window) with redo recovery after rebootMS.
+type failureConfig struct {
+	Node      int     `json:"node"`
+	CrashAtMS float64 `json:"crashAtMS"`
+	RebootMS  float64 `json:"rebootMS"`
 }
 
 type workloadConfig struct {
@@ -70,13 +95,14 @@ type diskUnitConfig struct {
 }
 
 type bufferConfig struct {
-	BufferSize          int               `json:"bufferSize"`
-	Force               bool              `json:"force"`
-	Logging             *bool             `json:"logging"` // default true
-	NVEMCacheSize       int               `json:"nvemCacheSize"`
-	NVEMWriteBufferSize int               `json:"nvemWriteBufferSize"`
-	Partitions          []partitionConfig `json:"partitions"`
-	Log                 logConfig         `json:"log"`
+	BufferSize           int               `json:"bufferSize"`
+	Force                bool              `json:"force"`
+	Logging              *bool             `json:"logging"` // default true
+	CheckpointIntervalMS float64           `json:"checkpointIntervalMS"`
+	NVEMCacheSize        int               `json:"nvemCacheSize"`
+	NVEMWriteBufferSize  int               `json:"nvemWriteBufferSize"`
+	Partitions           []partitionConfig `json:"partitions"`
+	Log                  logConfig         `json:"log"`
 }
 
 type partitionConfig struct {
@@ -95,15 +121,76 @@ type logConfig struct {
 	NVEMWriteBuffer bool `json:"nvemWriteBuffer"`
 }
 
-// load reads and assembles a full engine configuration.
-func load(r io.Reader) (tpsim.Config, error) {
+// load reads and assembles a run configuration: the single-node engine
+// configuration, plus a cluster description when the file carries a
+// cluster section (the returned Config is then the cluster's Base).
+func load(r io.Reader) (tpsim.Config, *tpsim.ClusterConfig, error) {
 	var fc fileConfig
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&fc); err != nil {
-		return tpsim.Config{}, fmt.Errorf("parse config: %w", err)
+		return tpsim.Config{}, nil, fmt.Errorf("parse config: %w", err)
 	}
-	return fc.assemble()
+	if fc.Cluster != nil {
+		return fc.assembleCluster()
+	}
+	cfg, err := fc.assemble()
+	return cfg, nil, err
+}
+
+// assembleCluster builds the multi-node configuration: the base engine
+// configuration shared by every node plus one independent generator per
+// node, each fed an even share of the configured aggregate rate.
+func (fc *fileConfig) assembleCluster() (tpsim.Config, *tpsim.ClusterConfig, error) {
+	cl := fc.Cluster
+	if cl.NumNodes <= 0 {
+		return tpsim.Config{}, nil, fmt.Errorf("cluster.numNodes = %d", cl.NumNodes)
+	}
+	n := cl.NumNodes
+	per := *fc
+	per.Workload.Rate = fc.Workload.Rate / float64(n)
+	if len(fc.Workload.PerTypeRates) > 0 {
+		per.Workload.PerTypeRates = make([]float64, len(fc.Workload.PerTypeRates))
+		for i, rate := range fc.Workload.PerTypeRates {
+			per.Workload.PerTypeRates[i] = rate / float64(n)
+		}
+	}
+
+	base, err := per.assemble()
+	if err != nil {
+		return tpsim.Config{}, nil, err
+	}
+	// Generators are stateful: build a fresh instance per node (assemble
+	// already produced node 0's).
+	gens := make([]tpsim.Generator, n)
+	gens[0] = base.Generator
+	for i := 1; i < n; i++ {
+		nodeCfg := base
+		if err := per.workload(&nodeCfg); err != nil {
+			return tpsim.Config{}, nil, err
+		}
+		gens[i] = nodeCfg.Generator
+	}
+
+	ccfg := &tpsim.ClusterConfig{
+		Base:             base,
+		NumNodes:         n,
+		Generators:       gens,
+		SharedNVEMCache:  cl.SharedNVEMCache,
+		GlobalLocks:      cl.GlobalLocks,
+		InstrLockMsg:     cl.InstrLockMsg,
+		LockMsgDelayMS:   cl.LockMsgDelayMS,
+		TimelineBucketMS: cl.TimelineBucketMS,
+	}
+	if cl.Failure != nil {
+		ccfg.Failure = tpsim.FailureConfig{
+			Enabled:   true,
+			Node:      cl.Failure.Node,
+			CrashAtMS: cl.Failure.CrashAtMS,
+			RebootMS:  cl.Failure.RebootMS,
+		}
+	}
+	return base, ccfg, nil
 }
 
 func (fc *fileConfig) assemble() (tpsim.Config, error) {
@@ -177,11 +264,12 @@ func (fc *fileConfig) assemble() (tpsim.Config, error) {
 		logging = *fc.Buffer.Logging
 	}
 	cfg.Buffer = tpsim.BufferConfig{
-		BufferSize:          fc.Buffer.BufferSize,
-		Force:               fc.Buffer.Force,
-		Logging:             logging,
-		NVEMCacheSize:       fc.Buffer.NVEMCacheSize,
-		NVEMWriteBufferSize: fc.Buffer.NVEMWriteBufferSize,
+		BufferSize:           fc.Buffer.BufferSize,
+		Force:                fc.Buffer.Force,
+		Logging:              logging,
+		CheckpointIntervalMS: fc.Buffer.CheckpointIntervalMS,
+		NVEMCacheSize:        fc.Buffer.NVEMCacheSize,
+		NVEMWriteBufferSize:  fc.Buffer.NVEMWriteBufferSize,
 		Log: tpsim.LogAlloc{
 			NVEMResident:    fc.Buffer.Log.NVEMResident,
 			DiskUnit:        fc.Buffer.Log.DiskUnit,

@@ -8,7 +8,7 @@ import (
 )
 
 func TestExampleConfigLoadsAndRuns(t *testing.T) {
-	cfg, err := load(strings.NewReader(exampleConfig))
+	cfg, _, err := load(strings.NewReader(exampleConfig))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestExampleConfigLoadsAndRuns(t *testing.T) {
 }
 
 func TestLoadRejectsUnknownFields(t *testing.T) {
-	_, err := load(strings.NewReader(`{"bogus": 1}`))
+	_, _, err := load(strings.NewReader(`{"bogus": 1}`))
 	if err == nil {
 		t.Fatal("unknown field must error")
 	}
@@ -42,7 +42,7 @@ func TestLoadRejectsBadValues(t *testing.T) {
 		"mismatch":      `{"workload":{"kind":"debitcredit","rate":10},"diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":1,"diskDelayMS":15}],"buffer":{"bufferSize":100,"partitions":[{}],"log":{}}}`,
 	}
 	for name, in := range cases {
-		if _, err := load(strings.NewReader(in)); err == nil {
+		if _, _, err := load(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
@@ -58,7 +58,7 @@ func TestSyntheticWorkloadFromJSON(t *testing.T) {
 	  "diskUnits": [{"name": "d", "numControllers": 2, "contrDelayMS": 1, "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 15}],
 	  "buffer": {"bufferSize": 200, "partitions": [{"diskUnit": 0}], "log": {"diskUnit": 0}}
 	}`
-	cfg, err := load(strings.NewReader(in))
+	cfg, _, err := load(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,90 @@ func TestSyntheticWorkloadFromJSON(t *testing.T) {
 func TestTraceWorkloadFromJSON(t *testing.T) {
 	// Missing trace file must error cleanly.
 	in := `{"workload": {"kind": "trace", "rate": 10, "traceFile": "/nonexistent.trace"}}`
-	if _, err := load(strings.NewReader(in)); err == nil {
+	if _, _, err := load(strings.NewReader(in)); err == nil {
 		t.Fatal("missing trace file must error")
+	}
+}
+
+// TestClusterConfigLoadsAndRuns: the example cluster configuration
+// parses into a ClusterConfig — node count, shared cache, locking,
+// failure injection — and the run commits on every node, crashes
+// node 0 and reports its recovery.
+func TestClusterConfigLoadsAndRuns(t *testing.T) {
+	base, cluster, err := load(strings.NewReader(exampleClusterConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster == nil {
+		t.Fatal("no cluster configuration")
+	}
+	if cluster.NumNodes != 4 || !cluster.SharedNVEMCache || !cluster.GlobalLocks {
+		t.Fatalf("cluster shape: %+v", cluster)
+	}
+	if !cluster.Failure.Enabled || cluster.Failure.Node != 0 || cluster.Failure.CrashAtMS != 4300 {
+		t.Fatalf("failure not wired: %+v", cluster.Failure)
+	}
+	if cluster.TimelineBucketMS != 1000 {
+		t.Fatalf("timeline bucket = %v", cluster.TimelineBucketMS)
+	}
+	if base.Buffer.CheckpointIntervalMS != 2500 {
+		t.Fatalf("checkpoint interval = %v", base.Buffer.CheckpointIntervalMS)
+	}
+	if len(cluster.Generators) != 4 {
+		t.Fatalf("%d generators", len(cluster.Generators))
+	}
+	// The aggregate rate splits evenly over the nodes.
+	var rate float64
+	for i := 0; i < cluster.Generators[0].NumTypes(); i++ {
+		_, r := cluster.Generators[0].TypeInfo(i)
+		rate += r
+	}
+	if rate != 100 {
+		t.Fatalf("per-node rate = %v, want 100", rate)
+	}
+	if err := cluster.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := tpsim.RunCluster(*cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if res.Cluster.Restart == nil {
+		t.Fatal("no restart report despite failure injection")
+	}
+	if len(res.Cluster.Timeline) == 0 || len(res.Cluster.CrashedTimeline) == 0 {
+		t.Fatal("no commit timelines")
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("%d node results", len(res.Nodes))
+	}
+}
+
+// TestClusterConfigRejectsBadValues covers cluster-section validation.
+func TestClusterConfigRejectsBadValues(t *testing.T) {
+	min := `"workload":{"kind":"debitcredit","rate":40},
+	  "diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":4,"diskDelayMS":15}],
+	  "buffer":{"bufferSize":100,"partitions":[{},{},{}],"log":{}}`
+	cases := map[string]string{
+		"zero nodes":   `{` + min + `, "cluster": {"numNodes": 0}}`,
+		"bad failure":  `{` + min + `, "cluster": {"numNodes": 2, "failure": {"node": 9, "crashAtMS": 100}}}`,
+		"shared nvem0": `{` + min + `, "cluster": {"numNodes": 2, "sharedNVEMCache": true}}`,
+	}
+	for name, in := range cases {
+		_, cluster, err := load(strings.NewReader(in))
+		if err != nil {
+			continue // rejected at parse/assemble time: fine
+		}
+		if cluster == nil {
+			t.Errorf("%s: no cluster parsed", name)
+			continue
+		}
+		if err := cluster.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", name)
+		}
 	}
 }

@@ -4,16 +4,23 @@
 // Usage:
 //
 //	tpsim -config run.json
-//	tpsim -example            # print a commented example configuration
+//	tpsim -example            # print an example single-node configuration
+//	tpsim -example-cluster    # print an example multi-node configuration
 //
 // The JSON schema mirrors the engine configuration: CM parameters (Table
 // 3.3 of the paper), disk units (Table 3.4), buffer-manager allocation
-// (Fig 3.2) and a workload selector (debitcredit / trace / synthetic).
+// (Fig 3.2, including the fuzzy-checkpoint interval) and a workload
+// selector (debitcredit / trace / synthetic). A "cluster" section
+// switches to a multi-node data-sharing run — node count, shared vs.
+// private NVEM cache, global vs. local locking, and optional crash
+// injection with redo recovery.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	tpsim "repro"
@@ -39,36 +46,92 @@ const exampleConfig = `{
   }
 }`
 
-func main() {
-	path := flag.String("config", "", "JSON configuration file")
-	example := flag.Bool("example", false, "print an example configuration and exit")
-	flag.Parse()
+const exampleClusterConfig = `{
+  "seed": 1,
+  "warmupMS": 6000,
+  "measureMS": 12000,
+  "workload": {"kind": "debitcredit", "rate": 400},
+  "ccModes": ["page", "page", "none"],
+  "nvemServers": 1,
+  "nvemDelayMS": 0.05,
+  "diskUnits": [
+    {"name": "db", "type": "regular", "numControllers": 12,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 96, "diskDelayMS": 15},
+    {"name": "log", "type": "regular", "numControllers": 2,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 5}
+  ],
+  "buffer": {
+    "bufferSize": 500,
+    "checkpointIntervalMS": 2500,
+    "nvemCacheSize": 2000,
+    "partitions": [{"nvemCache": true}, {"nvemCache": true}, {"nvemCache": true}],
+    "log": {"nvemResident": true}
+  },
+  "cluster": {
+    "numNodes": 4,
+    "sharedNVEMCache": true,
+    "globalLocks": true,
+    "timelineBucketMS": 1000,
+    "failure": {"node": 0, "crashAtMS": 4300, "rebootMS": 500}
+  }
+}`
 
-	if *example {
-		fmt.Println(exampleConfig)
-		return
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given argument list and streams;
+// it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	path := fs.String("config", "", "JSON configuration file")
+	example := fs.Bool("example", false, "print an example single-node configuration and exit")
+	exampleCluster := fs.Bool("example-cluster", false, "print an example multi-node configuration and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	if *path == "" {
-		flag.Usage()
-		os.Exit(2)
+
+	switch {
+	case *example:
+		fmt.Fprintln(stdout, exampleConfig)
+		return 0
+	case *exampleCluster:
+		fmt.Fprintln(stdout, exampleClusterConfig)
+		return 0
+	case *path == "":
+		fs.Usage()
+		return 2
 	}
 	f, err := os.Open(*path)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	cfg, err := load(f)
+	cfg, cluster, err := load(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
+	}
+	if cluster != nil {
+		res, err := tpsim.RunCluster(*cluster)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprint(stdout, res.Report())
+		return 0
 	}
 	res, err := tpsim.Run(cfg)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	fmt.Print(res.Report())
+	fmt.Fprint(stdout, res.Report())
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tpsim:", err)
-	os.Exit(1)
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "tpsim:", err)
+	return 1
 }

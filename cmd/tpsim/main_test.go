@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd executes run() capturing both streams.
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunExamples(t *testing.T) {
+	code, out, _ := runCmd(t, "-example")
+	if code != 0 || !strings.Contains(out, `"workload"`) {
+		t.Fatalf("-example: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCmd(t, "-example-cluster")
+	if code != 0 || !strings.Contains(out, `"cluster"`) {
+		t.Fatalf("-example-cluster: code=%d out=%q", code, out)
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatalf("no args: code=%d, want 2", code)
+	}
+	if code, _, stderr := runCmd(t, "-config", "/nonexistent.json"); code != 1 || stderr == "" {
+		t.Fatalf("missing file: code=%d stderr=%q", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"bogus": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, "-config", bad); code != 1 {
+		t.Fatalf("bad config: code=%d, want 1", code)
+	}
+}
+
+// TestRunClusterEndToEnd drives the real CLI path over a small cluster
+// file, checking the report carries the cluster's recovery lines.
+func TestRunClusterEndToEnd(t *testing.T) {
+	cfg := `{
+	  "warmupMS": 1000, "measureMS": 3000,
+	  "workload": {"kind": "debitcredit", "rate": 100},
+	  "diskUnits": [
+	    {"name": "db", "numControllers": 4, "contrDelayMS": 1.0,
+	     "transDelayMS": 0.4, "numDisks": 32, "diskDelayMS": 15},
+	    {"name": "log", "numControllers": 2, "contrDelayMS": 1.0,
+	     "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 5}
+	  ],
+	  "buffer": {
+	    "bufferSize": 500,
+	    "checkpointIntervalMS": 1000,
+	    "partitions": [{"diskUnit": 0}, {"diskUnit": 0}, {"diskUnit": 0}],
+	    "log": {"nvemResident": true}
+	  },
+	  "cluster": {
+	    "numNodes": 2,
+	    "globalLocks": true,
+	    "timelineBucketMS": 1000,
+	    "failure": {"node": 1, "crashAtMS": 1000, "rebootMS": 200}
+	  }
+	}`
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCmd(t, "-config", path)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	for _, want := range []string{"node 0:", "node 1:", "recovery:", "commit timeline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report misses %q:\n%s", want, out)
+		}
+	}
+}

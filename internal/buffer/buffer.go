@@ -58,6 +58,9 @@ type Stats struct {
 	ForceWrites  int64 // pages forced at commit (FORCE)
 	LogWrites    int64 // physical log page writes
 	GroupCommits int64 // log groups flushed (group commit)
+
+	Checkpoints int64 // fuzzy checkpoints completed by the daemon
+	CkptWrites  int64 // dirty pages flushed by checkpoints
 }
 
 // Sub returns s-o field-wise; the engine reports measurement-window
@@ -81,6 +84,8 @@ func (s Stats) Sub(o Stats) Stats {
 		ForceWrites:     s.ForceWrites - o.ForceWrites,
 		LogWrites:       s.LogWrites - o.LogWrites,
 		GroupCommits:    s.GroupCommits - o.GroupCommits,
+		Checkpoints:     s.Checkpoints - o.Checkpoints,
+		CkptWrites:      s.CkptWrites - o.CkptWrites,
 	}
 }
 
@@ -105,6 +110,8 @@ func (s Stats) Add(o Stats) Stats {
 		ForceWrites:     s.ForceWrites + o.ForceWrites,
 		LogWrites:       s.LogWrites + o.LogWrites,
 		GroupCommits:    s.GroupCommits + o.GroupCommits,
+		Checkpoints:     s.Checkpoints + o.Checkpoints,
+		CkptWrites:      s.CkptWrites + o.CkptWrites,
 	}
 }
 
@@ -142,6 +149,11 @@ type Manager struct {
 	logNext      int64
 	gcWaiters    []func()
 
+	// Checkpoint / recovery bookkeeping (checkpoint.go). ckptGen fences
+	// daemon incarnations: StopCheckpoints bumps it, stale ticks exit.
+	logSinceCkpt int64
+	ckptGen      int
+
 	stats     Stats
 	partStats []PartitionStats
 }
@@ -178,6 +190,9 @@ func newManager(cfg Config, partitionNames []string, units []*storage.DiskUnit,
 		m.sharedNVEM = true
 	case cfg.NVEMCacheSize > 0:
 		m.nvemCache = lru.New[storage.PageKey, nvemFrame](cfg.NVEMCacheSize)
+	}
+	if cfg.CheckpointIntervalMS > 0 {
+		m.startCheckpointDaemon()
 	}
 	return m, nil
 }
@@ -591,6 +606,7 @@ func (m *Manager) WriteLog(p *sim.Process, k func()) {
 // writeLogPage performs one physical log page write, then k.
 func (m *Manager) writeLogPage(p *sim.Process, k func()) {
 	m.stats.LogWrites++
+	m.logSinceCkpt++
 	key := storage.PageKey{Partition: m.logPartition, Page: m.logNext}
 	m.logNext++
 	switch {

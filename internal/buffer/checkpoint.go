@@ -1,0 +1,187 @@
+package buffer
+
+// This file holds the crash-recovery support of the buffer manager: the
+// fuzzy-checkpoint daemon (periodic asynchronous dirty-page flush that
+// bounds the redo log a restart must scan), the dirty-page and
+// since-checkpoint log bookkeeping the recovery model reads, the crash
+// hook that clears the volatile buffer state, and the simulated redo log
+// scan. NOFORCE is only viable with this machinery (section 3.2: "fuzzy
+// checkpoints"); the restart-time experiments in internal/experiments
+// drive it.
+
+import (
+	"repro/internal/lru"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// LogSinceCkpt returns the redo log length: log pages written since the
+// last completed fuzzy checkpoint (or since the start of the run when no
+// checkpoint has completed yet).
+func (m *Manager) LogSinceCkpt() int64 { return m.logSinceCkpt }
+
+// DirtyKeys returns the keys of the dirty main-memory frames, most- to
+// least-recently used. The order is the LRU chain's, so it is
+// deterministic; the checkpoint daemon flushes in it and crash recovery
+// redoes in it.
+func (m *Manager) DirtyKeys() []storage.PageKey {
+	var out []storage.PageKey
+	m.mm.Each(func(k storage.PageKey, f frame) bool {
+		if f.dirty {
+			out = append(out, k)
+		}
+		return true
+	})
+	return out
+}
+
+// DirtyPages counts the dirty main-memory frames.
+func (m *Manager) DirtyPages() int { return len(m.DirtyKeys()) }
+
+// StopCheckpoints makes the checkpoint daemon exit at its next tick: a
+// crashed node cannot checkpoint, and a drain-to-empty run (restart
+// measurement) must terminate.
+func (m *Manager) StopCheckpoints() { m.ckptGen++ }
+
+// ResumeCheckpoints starts a fresh checkpoint daemon after a recovered
+// node rejoins (no-op when checkpointing is not configured). The cadence
+// re-anchors at the resume instant; a stale tick of the stopped daemon
+// is fenced off by the generation counter.
+func (m *Manager) ResumeCheckpoints() {
+	if m.cfg.CheckpointIntervalMS > 0 {
+		m.startCheckpointDaemon()
+	}
+}
+
+// startCheckpointDaemon spawns the fuzzy-checkpoint process on a fixed
+// cadence: a checkpoint begins at every multiple of CheckpointIntervalMS
+// (skipping beats a long flush overran — checkpoints never overlap), so
+// the redo log length at any instant is bounded by the interval plus one
+// flush, independent of how long earlier flushes took.
+func (m *Manager) startCheckpointDaemon() {
+	gen := m.ckptGen
+	m.host.SpawnAsync("checkpoint", func(p *sim.Process) {
+		interval := m.cfg.CheckpointIntervalMS
+		next := p.Now() + interval
+		var tick func()
+		tick = func() {
+			if m.ckptGen != gen {
+				return
+			}
+			m.fuzzyCheckpoint(p, gen, func() {
+				now := p.Now()
+				for next <= now {
+					next += interval
+				}
+				p.Hold(next-now, tick)
+			})
+		}
+		p.Hold(interval, tick)
+	})
+}
+
+// fuzzyCheckpoint flushes every dirty main-memory frame without blocking
+// transactions: the flush set is fixed at checkpoint begin and written by
+// concurrent asynchronous writer processes (the devices serialize them),
+// so pages re-modified during the flush stay dirty for the next
+// checkpoint and transactions only feel the extra device load. Once all
+// writes and the checkpoint log record are durable the redo log length
+// resets, then k runs. A crash mid-flush abandons the checkpoint: device
+// writes already issued complete (in-flight I/O survives), but the gen
+// fence stops every later continuation, so no checkpoint record is
+// written and the redo log length stays for the recovery snapshot.
+func (m *Manager) fuzzyCheckpoint(p *sim.Process, gen int, k func()) {
+	m.stats.Checkpoints++
+	keys := m.DirtyKeys()
+	for _, key := range keys {
+		m.mm.Update(key, frame{dirty: false})
+	}
+	remaining := len(keys)
+	finish := func() {
+		if m.ckptGen != gen {
+			return
+		}
+		done := func() {
+			m.logSinceCkpt = 0
+			k()
+		}
+		if m.cfg.Logging {
+			m.writeLogPage(p, done) // checkpoint record
+			return
+		}
+		done()
+	}
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, key := range keys {
+		key := key
+		m.stats.CkptWrites++
+		m.host.SpawnAsync("ckpt-flush", func(ap *sim.Process) {
+			m.flushPage(ap, key, func() {
+				if m.ckptGen != gen {
+					return
+				}
+				remaining--
+				if remaining == 0 {
+					finish()
+				}
+			})
+		})
+	}
+}
+
+// flushPage writes one checkpointed page to its permanent home, routed by
+// the partition allocation like any other propagation.
+func (m *Manager) flushPage(p *sim.Process, key storage.PageKey, k func()) {
+	a := m.alloc(key.Partition)
+	switch {
+	case a.MMResident:
+		k() // NOFORCE propagation, no device backing in the model
+	case a.NVEMResident:
+		m.host.NVEMTransfer(p, k)
+	case a.NVEMWriteBuffer:
+		m.writeViaWB(p, key, k)
+	default:
+		m.devicePartitionWrite(p, key, k)
+	}
+}
+
+// Crash clears the buffer manager's volatile state: every main-memory
+// frame is lost, as are the continuations of in-flight group commits.
+// Non-volatile state survives — the NVEM cache (private or shared), the
+// NVEM write buffer with its in-flight destages, and everything on the
+// devices. The since-checkpoint log counter is left for the recovery
+// snapshot; RecoveryScan resets it once the log has been replayed.
+func (m *Manager) Crash() {
+	m.mm = lru.New[storage.PageKey, frame](m.cfg.BufferSize)
+	m.gcWaiters = nil
+}
+
+// RecoveryScan reads n redo log pages sequentially through the log
+// allocation — NVEM transfers for an NVEM-resident log, device reads
+// otherwise — then resets the since-checkpoint counter and runs k. This
+// is the device-dependent log scan of a restart: its duration is what
+// separates NVEM, SSD and disk log placements.
+func (m *Manager) RecoveryScan(p *sim.Process, n int64, k func()) {
+	var i int64
+	var step func()
+	step = func() {
+		if i == n {
+			m.logSinceCkpt = 0
+			k()
+			return
+		}
+		key := storage.PageKey{Partition: m.logPartition, Page: m.logNext - n + i}
+		i++
+		if m.cfg.Log.NVEMResident {
+			m.host.NVEMTransfer(p, step)
+			return
+		}
+		m.host.IOOverhead(p, func() {
+			m.units[m.cfg.Log.DiskUnit].Read(p, key, step)
+		})
+	}
+	step()
+}

@@ -1,0 +1,189 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// ckptCfg is baseCfg with a large enough buffer and the checkpoint
+// daemon enabled.
+func ckptCfg(intervalMS float64) Config {
+	cfg := baseCfg()
+	cfg.BufferSize = 8
+	cfg.CheckpointIntervalMS = intervalMS
+	return cfg
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	cfg := ckptCfg(-1)
+	if err := cfg.Validate([]string{"p"}, 1); err == nil {
+		t.Fatal("negative interval must fail validation")
+	}
+	cfg = ckptCfg(100)
+	cfg.Logging = false
+	if err := cfg.Validate([]string{"p"}, 1); err == nil {
+		t.Fatal("checkpointing without logging must fail validation")
+	}
+}
+
+// TestCheckpointFlushesDirtyPages: the daemon flushes the dirty frames,
+// counts the checkpoint, and resets the since-checkpoint log length.
+// Assertions happen outside the blocking body (a Fatalf inside it would
+// park the hand-off shim).
+func TestCheckpointFlushesDirtyPages(t *testing.T) {
+	r := newRig(t, ckptCfg(500))
+	var dirtyBefore, dirtyAfter int
+	var logBefore, logAfter int64
+	r.drive(func(b *sim.BlockingProcess) {
+		for page := int64(1); page <= 3; page++ {
+			fixB(b, r.m, key(0, page), true)
+		}
+		writeLogB(b, r.m)
+		dirtyBefore, logBefore = r.m.DirtyPages(), r.m.LogSinceCkpt()
+		b.Hold(600) // across the first checkpoint
+		dirtyAfter, logAfter = r.m.DirtyPages(), r.m.LogSinceCkpt()
+		r.m.StopCheckpoints()
+	})
+	if dirtyBefore != 3 || logBefore != 1 {
+		t.Fatalf("before checkpoint: dirty=%d log=%d, want 3/1", dirtyBefore, logBefore)
+	}
+	if dirtyAfter != 0 || logAfter != 0 {
+		t.Fatalf("after checkpoint: dirty=%d log=%d, want 0/0", dirtyAfter, logAfter)
+	}
+	st := r.m.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatal("no checkpoint completed")
+	}
+	if st.CkptWrites != 3 {
+		t.Fatalf("checkpoint writes = %d, want 3", st.CkptWrites)
+	}
+	// Each completed checkpoint also logged one checkpoint record.
+	if st.LogWrites < st.Checkpoints {
+		t.Fatalf("log writes %d < checkpoints %d", st.LogWrites, st.Checkpoints)
+	}
+}
+
+// TestCheckpointDirtyKeysOrder: DirtyKeys reports MRU→LRU order.
+func TestCheckpointDirtyKeysOrder(t *testing.T) {
+	cfg := ckptCfg(0) // no daemon; bookkeeping only
+	cfg.CheckpointIntervalMS = 0
+	r := newRig(t, cfg)
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		fixB(b, r.m, key(0, 2), false)
+		fixB(b, r.m, key(0, 3), true)
+	})
+	keys := r.m.DirtyKeys()
+	if len(keys) != 2 || keys[0] != key(0, 3) || keys[1] != key(0, 1) {
+		t.Fatalf("dirty keys = %v, want [p0/3 p0/1]", keys)
+	}
+}
+
+// TestStopCheckpointsEndsDaemon: after StopCheckpoints the event heap
+// drains — RunAll terminates and no further checkpoints run.
+func TestStopCheckpointsEndsDaemon(t *testing.T) {
+	r := newRig(t, ckptCfg(50))
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		b.Hold(120)
+		r.m.StopCheckpoints()
+	})
+	before := r.m.Stats().Checkpoints
+	if before == 0 {
+		t.Fatal("no checkpoint before stop")
+	}
+	r.s.Run(r.s.Now() + 1000)
+	if after := r.m.Stats().Checkpoints; after != before {
+		t.Fatalf("daemon kept checkpointing after stop: %d -> %d", before, after)
+	}
+}
+
+// TestCrashClearsVolatileOnly: Crash empties the main-memory buffer but
+// keeps the (non-volatile) NVEM cache.
+func TestCrashClearsVolatileOnly(t *testing.T) {
+	cfg := baseCfg()
+	cfg.BufferSize = 2
+	cfg.NVEMCacheSize = 4
+	cfg.Partitions[0].NVEMCache = true
+	r := newRig(t, cfg)
+	r.drive(func(b *sim.BlockingProcess) {
+		for page := int64(1); page <= 4; page++ { // overflow MM into NVEM
+			fixB(b, r.m, key(0, page), false)
+		}
+	})
+	if r.m.MMLen() == 0 || r.m.NVEMCacheLen() == 0 {
+		t.Fatalf("setup: mm=%d nvem=%d", r.m.MMLen(), r.m.NVEMCacheLen())
+	}
+	nvemBefore := r.m.NVEMCacheLen()
+	r.m.Crash()
+	if r.m.MMLen() != 0 {
+		t.Fatalf("MM survived the crash: %d frames", r.m.MMLen())
+	}
+	if r.m.NVEMCacheLen() != nvemBefore {
+		t.Fatalf("NVEM cache did not survive: %d -> %d", nvemBefore, r.m.NVEMCacheLen())
+	}
+}
+
+// TestRecoveryScanDeviceVsNVEM: the simulated log scan pays device reads
+// for a disk log and NVEM transfers for an NVEM-resident log.
+func TestRecoveryScanDeviceVsNVEM(t *testing.T) {
+	r := newRig(t, baseCfg())
+	readsBefore := r.unit.Stats().Reads
+	var scanned bool
+	r.drive(func(b *sim.BlockingProcess) {
+		b.Await(func(done func()) {
+			r.m.RecoveryScan(b.Proc(), 5, func() { scanned = true; done() })
+		})
+	})
+	if !scanned {
+		t.Fatal("scan never completed")
+	}
+	if got := r.unit.Stats().Reads - readsBefore; got != 5 {
+		t.Fatalf("disk log scan issued %d reads, want 5", got)
+	}
+
+	cfg := baseCfg()
+	cfg.Log = LogAlloc{NVEMResident: true}
+	rn := newRig(t, cfg)
+	rn.drive(func(b *sim.BlockingProcess) {
+		b.Await(func(done func()) {
+			rn.m.RecoveryScan(b.Proc(), 5, done)
+		})
+	})
+	if rn.host.nvemCalls != 5 {
+		t.Fatalf("NVEM log scan made %d transfers, want 5", rn.host.nvemCalls)
+	}
+	if got := rn.m.LogSinceCkpt(); got != 0 {
+		t.Fatalf("log since ckpt after scan = %d, want 0", got)
+	}
+}
+
+// TestResumeCheckpointsAfterStop: a new daemon incarnation resumes
+// checkpointing, and the old incarnation's stale tick is fenced off by
+// the generation counter (no double daemon).
+func TestResumeCheckpointsAfterStop(t *testing.T) {
+	r := newRig(t, ckptCfg(100))
+	var atStop, afterDead, afterResume int64
+	r.drive(func(b *sim.BlockingProcess) {
+		fixB(b, r.m, key(0, 1), true)
+		b.Hold(250)
+		r.m.StopCheckpoints()
+		atStop = r.m.Stats().Checkpoints
+		b.Hold(300) // stale tick fires and must exit
+		afterDead = r.m.Stats().Checkpoints
+		r.m.ResumeCheckpoints()
+		b.Hold(300)
+		afterResume = r.m.Stats().Checkpoints
+		r.m.StopCheckpoints()
+	})
+	if atStop == 0 {
+		t.Fatal("no checkpoint before stop")
+	}
+	if afterDead != atStop {
+		t.Fatalf("stopped daemon kept checkpointing: %d -> %d", atStop, afterDead)
+	}
+	if afterResume <= afterDead {
+		t.Fatalf("resume did not restart checkpointing: %d -> %d", afterDead, afterResume)
+	}
+}

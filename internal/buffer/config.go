@@ -118,6 +118,13 @@ type Config struct {
 	// recovers most of the write-buffer benefit in software.
 	AsyncReplacement bool
 
+	// CheckpointIntervalMS, when positive, runs the fuzzy-checkpoint
+	// daemon: every interval the dirty main-memory frames are flushed
+	// asynchronously and a checkpoint record is logged, bounding the redo
+	// log a restart must scan (section 3.2: NOFORCE "in combination with
+	// fuzzy checkpoints"). Requires Logging.
+	CheckpointIntervalMS float64
+
 	// NVEMDeferredDestage defers the disk update of modified pages in the
 	// NVEM cache until they are evicted from NVEM, saving disk writes for
 	// pages modified repeatedly (the alternative propagation policy
@@ -169,6 +176,12 @@ func (c *Config) Validate(partitionNames []string, numUnits int) error {
 	}
 	if c.GroupCommit && !c.Logging {
 		return fmt.Errorf("buffer: GroupCommit without Logging")
+	}
+	if c.CheckpointIntervalMS < 0 {
+		return fmt.Errorf("buffer: CheckpointIntervalMS = %v", c.CheckpointIntervalMS)
+	}
+	if c.CheckpointIntervalMS > 0 && !c.Logging {
+		return fmt.Errorf("buffer: checkpointing without Logging")
 	}
 	return nil
 }

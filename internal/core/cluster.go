@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/buffer"
 	"repro/internal/cc"
@@ -53,6 +54,18 @@ type ClusterConfig struct {
 	GlobalLocks    bool
 	InstrLockMsg   float64
 	LockMsgDelayMS float64
+
+	// Failure injects one node crash into the measurement window: the
+	// node's volatile state is lost, its arrivals reroute to the
+	// surviving nodes, and after RebootMS it replays its redo log and
+	// rejoins (recovery.go). The zero value disables injection.
+	Failure FailureConfig
+
+	// TimelineBucketMS, when positive, records cluster-wide commits per
+	// time bucket over the measurement window (Result.Timeline) — the
+	// availability experiments read the throughput dip and ramp-back
+	// around a crash from it.
+	TimelineBucketMS float64
 }
 
 // Validate checks the cluster description.
@@ -68,6 +81,12 @@ func (c *ClusterConfig) Validate() error {
 	}
 	if c.SharedNVEMCache && c.Base.Buffer.NVEMCacheSize <= 0 {
 		return fmt.Errorf("core: SharedNVEMCache with NVEMCacheSize = %d", c.Base.Buffer.NVEMCacheSize)
+	}
+	if err := c.Failure.validate(c.NumNodes, c.Base.MeasureMS); err != nil {
+		return err
+	}
+	if c.TimelineBucketMS < 0 {
+		return fmt.Errorf("core: TimelineBucketMS = %v", c.TimelineBucketMS)
 	}
 	for i, g := range c.Generators {
 		if g == nil {
@@ -109,7 +128,12 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		nodeCfgs[i] = cfg.Base
 		nodeCfgs[i].Generator = cfg.Generators[i]
 	}
-	opts := clusterOpts{sharedNVEM: cfg.SharedNVEMCache}
+	opts := clusterOpts{
+		sharedNVEM:       cfg.SharedNVEMCache,
+		failure:          cfg.Failure,
+		trackActive:      cfg.Failure.Enabled,
+		timelineBucketMS: cfg.TimelineBucketMS,
+	}
 	if cfg.GlobalLocks {
 		opts.globalLocks = true
 		opts.instrLockMsg = cfg.InstrLockMsg
@@ -125,13 +149,18 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.runWindows()
+	c.runPhases()
 	out := &ClusterResult{}
 	for _, n := range c.nodes {
 		out.Nodes = append(out.Nodes, n.collect())
 	}
 	out.Cluster = c.aggregate(out.Nodes)
 	c.attachShared(out.Cluster)
+	c.attachTimeline(out.Cluster)
+	if cfg.Failure.Enabled {
+		out.Cluster.Restart = c.nodes[cfg.Failure.Node].restartReport()
+		out.Cluster.CrashedTimeline = out.Nodes[cfg.Failure.Node].Timeline
+	}
 	c.finish()
 	return out, nil
 }
@@ -142,6 +171,14 @@ type clusterOpts struct {
 	globalLocks  bool
 	instrLockMsg float64
 	lockMsgDelay float64
+
+	// failure injects a crash boundary into the phase schedule;
+	// trackActive makes nodes register in-flight transactions so a crash
+	// can kill them (also set by MeasureRestart, which crashes after the
+	// window). timelineBucketMS enables the commit timeline.
+	failure          FailureConfig
+	trackActive      bool
+	timelineBucketMS float64
 }
 
 // cluster wires shared storage and N nodes into one simulation kernel.
@@ -166,6 +203,15 @@ type cluster struct {
 	baseHandoffs  int64
 
 	warmup, measure float64
+
+	// Lifecycle / recovery (phase.go, recovery.go).
+	failure     FailureConfig
+	trackActive bool
+	rr          int // round-robin cursor of the arrival rerouter
+
+	// Commit-timeline bucket width (availability runs); each node
+	// records its own buckets.
+	timelineBucketMS float64
 }
 
 // newCluster builds the shared storage and every node. nodeCfgs[0]
@@ -174,12 +220,15 @@ type cluster struct {
 func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, error) {
 	shared := nodeCfgs[0]
 	c := &cluster{
-		s:            sim.New(),
-		stride:       len(nodeCfgs),
-		instrLockMsg: opts.instrLockMsg,
-		lockMsgDelay: opts.lockMsgDelay,
-		warmup:       shared.WarmupMS,
-		measure:      shared.MeasureMS,
+		s:                sim.New(),
+		stride:           len(nodeCfgs),
+		instrLockMsg:     opts.instrLockMsg,
+		lockMsgDelay:     opts.lockMsgDelay,
+		warmup:           shared.WarmupMS,
+		measure:          shared.MeasureMS,
+		failure:          opts.failure,
+		trackActive:      opts.trackActive,
+		timelineBucketMS: opts.timelineBucketMS,
 	}
 
 	unitRnd := rng.NewStream(seed, "disk-units")
@@ -245,19 +294,51 @@ func (c *cluster) invalidate(writer int, key storage.PageKey) {
 	}
 }
 
-// runWindows executes warm-up, snapshots every node, and runs the
-// measurement window.
-func (c *cluster) runWindows() {
-	c.s.Run(c.warmup)
+// reroute picks the surviving node the next rerouted arrival runs on,
+// round-robin over the running nodes for balance. It returns nil when no
+// node is running (the cluster is unavailable).
+func (c *cluster) reroute() *node {
+	for range c.nodes {
+		n := c.nodes[c.rr]
+		c.rr = (c.rr + 1) % c.stride
+		if n.phase == nodeRunning {
+			return n
+		}
+	}
+	return nil
+}
+
+// timelineBuckets is the padded timeline length: the full window
+// including a trailing partial bucket, so every run of one configuration
+// reports the same number of buckets regardless of where its last
+// commit landed.
+func (c *cluster) timelineBuckets(recorded int) int {
+	buckets := int(math.Ceil(c.measure / c.timelineBucketMS))
+	if buckets < recorded {
+		buckets = recorded
+	}
+	return buckets
+}
+
+// attachTimeline sums the per-node commit timelines into the aggregate
+// result.
+func (c *cluster) attachTimeline(res *Result) {
+	if c.timelineBucketMS <= 0 {
+		return
+	}
+	longest := 0
 	for _, n := range c.nodes {
-		n.snapshot()
+		if len(n.timeline) > longest {
+			longest = len(n.timeline)
+		}
 	}
-	c.baseInval = c.invalidations
-	c.baseHandoffs = c.dirtyHandoffs
-	if c.glocks != nil {
-		c.baseGlobal = c.glocks.Stats()
+	res.TimelineBucketMS = c.timelineBucketMS
+	res.Timeline = make([]int64, c.timelineBuckets(longest))
+	for _, n := range c.nodes {
+		for i, v := range n.timeline {
+			res.Timeline[i] += v
+		}
 	}
-	c.s.Run(c.warmup + c.measure)
 }
 
 // finish stops the arrival streams and abandons all pending work.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/cc"
+	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +32,26 @@ type node struct {
 	locks   *cc.Manager // local lock manager; nil under global locking
 	waiting map[cc.TxnID]func()
 
+	// Lifecycle (phase.go, recovery.go). active tracks in-flight
+	// transactions only when the cluster may crash a node (trackActive),
+	// so failure-free runs pay nothing on the transaction hot path.
+	phase      nodePhase
+	nameSuffix string // "" single-node, "/n<id>" in clusters
+	active     map[cc.TxnID]*txRun
+
+	// Crash/restart state (recovery.go). peakBeforeCrash preserves the
+	// MPL input-queue peak across the crash's resource replacement.
+	peakBeforeCrash int
+	crashed         bool
+	crashedAt       sim.Time
+	recoveredAt     sim.Time
+	rebootMS        float64
+	logScanMS       float64
+	redoMS          float64
+	redoKeys        []storage.PageKey
+	snapAtCrash     recovery.Snapshot
+	estimateMS      float64
+
 	// Random streams: one per concern for reproducibility.
 	cpuRnd *rng.Stream
 	genRnd *rng.Stream
@@ -55,6 +76,10 @@ type node struct {
 	baseCPUBusy   float64
 	baseLockMsgs  int64
 	warmStartTime sim.Time
+
+	// timeline counts this node's commits per TimelineBucketMS bucket
+	// over the measurement window (availability runs only).
+	timeline []int64
 }
 
 // Run executes one single-node simulation described by cfg and returns its
@@ -67,7 +92,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.runWindows()
+	c.runPhases()
 	res := c.nodes[0].collect()
 	c.attachShared(res)
 	c.finish()
@@ -92,12 +117,16 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 		nvem:     c.nvem,
 		units:    c.units,
 		waiting:  make(map[cc.TxnID]func()),
+		active:   make(map[cc.TxnID]*txRun),
 		resp:     stats.NewSummary("response", true),
 		lockWait: stats.NewSummary("lock-wait", false),
 		ioWait:   stats.NewSummary("io-wait", false),
 		cpuRnd:   rng.NewStream(seed, suffix("cpu")),
 		genRnd:   rng.NewStream(seed, suffix("workload")),
 		arrRnd:   rng.NewStream(seed, suffix("arrivals")),
+	}
+	if numNodes > 1 {
+		n.nameSuffix = fmt.Sprintf("/n%d", id)
 	}
 	n.cpu = c.s.NewResource(suffix("cpu"), cfg.NumCPU)
 	n.mpl = c.s.NewResource(suffix("mpl"), cfg.MPL)
@@ -121,6 +150,10 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 	}
 	return n, nil
 }
+
+// procName appends the node's cluster suffix to a diagnostic name, the
+// same scheme newNode's stream naming uses.
+func (e *node) procName(base string) string { return base + e.nameSuffix }
 
 // newTxn allocates a cluster-unique transaction id: node ids interleave,
 // so id mod the node count recovers the owner (the global lock manager's
@@ -215,6 +248,15 @@ func (e *node) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k
 	if gl := e.c.glocks; gl != nil {
 		e.cpuBurst(p, e.c.instrLockMsg, func() {
 			p.Hold(e.c.lockMsgDelay, func() {
+				// A crash while the request message was in flight killed
+				// the transaction and purged it from the active table; the
+				// request must not reach the global lock manager, where
+				// nobody would ever release it.
+				if e.c.trackActive {
+					if _, alive := e.active[txn]; !alive {
+						return
+					}
+				}
 				e.onAcquired(p, txn, gl.AcquireFrom(e.id, txn, g, mode), k)
 			})
 		})
@@ -275,14 +317,26 @@ func (e *node) spawnArrivals(typeIdx int) {
 			}
 			tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
 			if len(tx.Accesses) > 0 {
-				if e.mpl.QueueLen() >= e.cfg.MaxQueue {
+				// While this node is down its arrivals reroute to a
+				// surviving node (clients reconnect); with nobody running
+				// the arrival is lost — the cluster is unavailable.
+				target := e
+				if e.phase != nodeRunning {
+					target = e.c.reroute()
+				}
+				switch {
+				case target == nil:
+					if e.warm {
+						e.dropped++
+					}
+				case target.mpl.QueueLen() >= target.cfg.MaxQueue:
 					// Dropped arrivals count only inside the measurement
 					// window, like commits and aborts.
 					if e.warm {
 						e.dropped++
 					}
-				} else {
-					e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+				default:
+					e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
 				}
 			}
 			p.Hold(e.arrRnd.Exp(meanInterarrival), arrive)
@@ -321,6 +375,10 @@ type txRun struct {
 	i       int      // next access index
 	state   txState
 	relPaid bool // release-message pathlength charged (global locking)
+	// dead marks a transaction killed by its node's crash: its locks are
+	// already released and every later continuation must fall through
+	// (pending kernel events cannot be unscheduled).
+	dead bool
 
 	// Pre-bound continuations, one allocation each per transaction.
 	admitted func(sim.Time)
@@ -337,8 +395,12 @@ func (e *node) runTx(p *sim.Process, tx workload.Tx) {
 	e.mpl.Acquire(p, t.admitted)
 }
 
-// dispatch resumes the state the transaction parked in.
+// dispatch resumes the state the transaction parked in. A transaction
+// killed by a crash resumes into nothing.
 func (t *txRun) dispatch() {
+	if t.dead {
+		return
+	}
 	switch t.state {
 	case txStep:
 		t.doStep()
@@ -354,7 +416,12 @@ func (t *txRun) dispatch() {
 }
 
 // onAdmitted starts the first attempt once an MPL slot is granted.
-func (t *txRun) onAdmitted(sim.Time) { t.beginAttempt() }
+func (t *txRun) onAdmitted(sim.Time) {
+	if t.dead {
+		return
+	}
+	t.beginAttempt()
+}
 
 // beginAttempt starts one execution attempt under a fresh transaction id.
 // The BOT burst guarantees simulated time advances between attempts.
@@ -363,6 +430,9 @@ func (t *txRun) beginAttempt() {
 	t.i = 0
 	t.state = txStep
 	t.relPaid = false
+	if t.e.c.trackActive {
+		t.e.active[t.txn] = t
+	}
 	t.e.cpuBurst(t.p, t.e.cfg.InstrBOT, t.resume)
 }
 
@@ -380,6 +450,9 @@ func (t *txRun) doStep() {
 // deadlock. In a multi-node cluster a write fix first invalidates every
 // other node's copy of the page (write-invalidate coherence).
 func (t *txRun) onLocked(ok bool) {
+	if t.dead {
+		return
+	}
 	if !ok {
 		t.abort() // deadlock victim
 		return
@@ -417,12 +490,23 @@ func (t *txRun) abort() {
 	}
 	if t.e.c.glocks != nil {
 		t.e.cpuBurst(t.p, t.e.c.instrLockMsg, func() {
+			// A crash during the release burst already released the locks
+			// (the transaction was still registered as active).
+			if t.dead {
+				return
+			}
 			t.e.releaseLocks(t.txn)
+			if t.e.c.trackActive {
+				delete(t.e.active, t.txn)
+			}
 			t.beginAttempt()
 		})
 		return
 	}
 	t.e.releaseLocks(t.txn)
+	if t.e.c.trackActive {
+		delete(t.e.active, t.txn)
+	}
 	t.beginAttempt()
 }
 
@@ -459,12 +543,32 @@ func (t *txRun) finish() {
 		return
 	}
 	e.releaseLocks(t.txn)
+	if e.c.trackActive {
+		delete(e.active, t.txn)
+	}
 	if e.warm {
 		e.commits++
 		e.resp.Add(t.p.Now() - t.arrival)
 		e.ioWait.Add(t.fixTime)
+		e.recordCommit(t.p.Now())
 	}
 	e.mpl.Release()
+}
+
+// recordCommit adds one committed transaction to the node's availability
+// timeline (no-op unless the cluster configured a bucket width).
+func (e *node) recordCommit(now sim.Time) {
+	if e.c.timelineBucketMS <= 0 {
+		return
+	}
+	idx := int((now - e.warmStartTime) / e.c.timelineBucketMS)
+	if idx < 0 {
+		return
+	}
+	for len(e.timeline) <= idx {
+		e.timeline = append(e.timeline, 0)
+	}
+	e.timeline[idx]++
 }
 
 // modifiedPages returns the distinct pages a transaction wrote, in first-
@@ -535,8 +639,13 @@ func (e *node) collect() *Result {
 	}
 	// Saturation over the measured window: drops are window-only, and the
 	// peak queue length (not the instantaneous end-of-run length, which a
-	// single lucky drain can hide) marks sustained overload.
-	res.Saturated = e.dropped > 0 || e.mpl.PeakQueueLen() >= e.cfg.MaxQueue/2
+	// single lucky drain can hide) marks sustained overload. A crash
+	// replaced the MPL resource, so the pre-crash peak rides along.
+	peakQueue := e.mpl.PeakQueueLen()
+	if e.peakBeforeCrash > peakQueue {
+		peakQueue = e.peakBeforeCrash
+	}
+	res.Saturated = e.dropped > 0 || peakQueue >= e.cfg.MaxQueue/2
 
 	res.Buffer = e.bm.Stats().Sub(e.baseBuf)
 	if e.locks != nil {
@@ -563,6 +672,11 @@ func (e *node) collect() *Result {
 			pr.NVEMHitPct = 100 * float64(d.NVEMHits) / float64(d.Fixes)
 		}
 		res.Partitions = append(res.Partitions, pr)
+	}
+	if e.c.timelineBucketMS > 0 {
+		res.TimelineBucketMS = e.c.timelineBucketMS
+		res.Timeline = make([]int64, e.c.timelineBuckets(len(e.timeline)))
+		copy(res.Timeline, e.timeline)
 	}
 	return res
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file is the engine's run controller. A simulation is no longer a
+// hard-coded warmup→measure pair of kernel runs: it is a sorted schedule
+// of phase boundaries, each advancing the kernel to a timestamp and then
+// performing a transition (open the measurement window, inject a node
+// crash, ...). Crash/restart is just one more boundary plus the kernel
+// events it schedules, and each node tracks its own lifecycle phase
+// (running → crashed → recovering → rejoined-as-running) independently
+// of the cluster-wide schedule.
+
+// nodePhase is one node's lifecycle state.
+type nodePhase uint8
+
+const (
+	// nodeRunning: the node accepts arrivals and executes transactions.
+	// A recovered node returns here when it rejoins.
+	nodeRunning nodePhase = iota
+	// nodeCrashed: volatile state lost; arrivals reroute to survivors.
+	nodeCrashed
+	// nodeRecovering: reboot finished, redo recovery in progress.
+	nodeRecovering
+)
+
+func (p nodePhase) String() string {
+	switch p {
+	case nodeRunning:
+		return "running"
+	case nodeCrashed:
+		return "crashed"
+	default:
+		return "recovering"
+	}
+}
+
+// phaseStep is one boundary of the run schedule: advance simulated time
+// to at, then run the transition.
+type phaseStep struct {
+	name string
+	at   sim.Time
+	run  func()
+}
+
+// phases builds the run schedule: the measurement-window snapshot at the
+// end of warm-up, an optional crash injection inside the window, and the
+// end-of-run boundary. Steps are sorted by time (stable, so equal-time
+// steps keep their declaration order).
+func (c *cluster) phases() []phaseStep {
+	steps := []phaseStep{
+		{name: "measure", at: c.warmup, run: c.openWindow},
+	}
+	if c.failure.Enabled {
+		steps = append(steps, phaseStep{
+			name: "crash",
+			at:   c.warmup + c.failure.CrashAtMS,
+			run:  c.injectCrash,
+		})
+	}
+	steps = append(steps, phaseStep{name: "end", at: c.warmup + c.measure})
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+	return steps
+}
+
+// runPhases executes the schedule: every event up to each boundary fires
+// before the boundary's transition runs (events exactly at the boundary
+// included), exactly like the former monolithic warmup→measure flow.
+func (c *cluster) runPhases() {
+	for _, st := range c.phases() {
+		c.s.Run(st.at)
+		if st.run != nil {
+			st.run()
+		}
+	}
+}
+
+// openWindow starts the measurement window on every node and baselines
+// the cluster-wide counters.
+func (c *cluster) openWindow() {
+	for _, n := range c.nodes {
+		n.snapshot()
+	}
+	c.baseInval = c.invalidations
+	c.baseHandoffs = c.dirtyHandoffs
+	if c.glocks != nil {
+		c.baseGlobal = c.glocks.Stats()
+	}
+}
+
+// injectCrash fails the configured node at the current instant.
+func (c *cluster) injectCrash() {
+	c.nodes[c.failure.Node].crashNow(c.failure.RebootMS)
+}

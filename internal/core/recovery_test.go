@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// recoveryConfig is dcConfig plus the fuzzy-checkpoint daemon, with the
+// log allocation swapped per variant.
+func recoveryConfig(t *testing.T, logKind string) Config {
+	t.Helper()
+	cfg := dcConfig(t, 250)
+	cfg.Buffer.CheckpointIntervalMS = 6000
+	switch logKind {
+	case "disk":
+	case "ssd":
+		cfg.DiskUnits[1] = storage.DiskUnitConfig{Name: "log", Type: storage.SSD,
+			NumControllers: 2, ContrDelay: DefaultContrDelay, TransDelay: DefaultTransDelay}
+	case "nvem":
+		cfg.Buffer.Log = buffer.LogAlloc{NVEMResident: true}
+	default:
+		t.Fatalf("unknown log kind %q", logKind)
+	}
+	return cfg
+}
+
+// TestRestartOrderingByLogDevice pins the paper's core recovery claim:
+// under an identical workload and checkpoint regime, restart time orders
+// NVEM-resident log < SSD log < magnetic-disk log, because the redo log
+// scan is device-bound.
+func TestRestartOrderingByLogDevice(t *testing.T) {
+	restart := func(kind string) *RestartReport {
+		res, err := MeasureRestart(recoveryConfig(t, kind), 500)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		r := res.Restart
+		if r == nil || !r.Recovered {
+			t.Fatalf("%s: no completed restart: %+v", kind, r)
+		}
+		if r.Snapshot.LogPages == 0 {
+			t.Fatalf("%s: empty redo log — checkpointing never let log accumulate?", kind)
+		}
+		return r
+	}
+	nvem := restart("nvem")
+	ssd := restart("ssd")
+	disk := restart("disk")
+	if !(nvem.RestartMS < ssd.RestartMS && ssd.RestartMS < disk.RestartMS) {
+		t.Fatalf("restart ordering violated: nvem=%.1f ssd=%.1f disk=%.1f ms",
+			nvem.RestartMS, ssd.RestartMS, disk.RestartMS)
+	}
+	if !(nvem.EstimateMS < ssd.EstimateMS && ssd.EstimateMS < disk.EstimateMS) {
+		t.Fatalf("analytic ordering violated: nvem=%.1f ssd=%.1f disk=%.1f ms",
+			nvem.EstimateMS, ssd.EstimateMS, disk.EstimateMS)
+	}
+}
+
+// TestMeasureRestartBreakdown: the simulated restart decomposes exactly
+// into reboot + log scan + redo, the window metrics match a plain Run of
+// the same configuration, and the report line renders.
+func TestMeasureRestartBreakdown(t *testing.T) {
+	cfg := recoveryConfig(t, "disk")
+	res, err := MeasureRestart(cfg, 750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Restart
+	if r == nil || !r.Recovered {
+		t.Fatalf("no restart report: %+v", r)
+	}
+	sum := r.RebootMS + r.LogScanMS + r.RedoMS
+	if math.Abs(r.RestartMS-sum) > 1e-6 {
+		t.Fatalf("restart %.6f != reboot+scan+redo %.6f", r.RestartMS, sum)
+	}
+	if r.RebootMS != 750 {
+		t.Fatalf("reboot %v, want 750", r.RebootMS)
+	}
+	if r.Snapshot.RedoPages == 0 || r.Snapshot.Resident == 0 {
+		t.Fatalf("empty crash snapshot: %+v", r.Snapshot)
+	}
+	if r.EstimateMS <= r.RebootMS {
+		t.Fatalf("estimate %v prices no I/O", r.EstimateMS)
+	}
+	if !strings.Contains(res.Report(), "recovery:") {
+		t.Fatalf("report misses the recovery line:\n%s", res.Report())
+	}
+
+	plain, err := Run(recoveryConfig(t, "disk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != res.String() {
+		t.Fatalf("restart measurement perturbed the window metrics:\n%s\nvs\n%s",
+			plain.String(), res.String())
+	}
+}
+
+// TestMeasureRestartValidates covers the error paths.
+func TestMeasureRestartValidates(t *testing.T) {
+	if _, err := MeasureRestart(Config{}, 0); err == nil {
+		t.Fatal("invalid config must error")
+	}
+	if _, err := MeasureRestart(dcConfig(t, 100), -1); err == nil {
+		t.Fatal("negative reboot must error")
+	}
+}
+
+// failCluster builds a 2-node cluster with checkpointing, a node-0 crash
+// mid-window and the commit timeline enabled.
+func failCluster(t *testing.T, crashAt float64) ClusterConfig {
+	t.Helper()
+	cfg := dcCluster(t, 2, 300, true)
+	cfg.Base.MeasureMS = 8000
+	cfg.Base.Buffer.CheckpointIntervalMS = 1500
+	cfg.Failure = FailureConfig{Enabled: true, Node: 0, CrashAtMS: crashAt, RebootMS: 200}
+	cfg.TimelineBucketMS = 500
+	return cfg
+}
+
+// TestClusterFailureValidate covers failure-injection validation.
+func TestClusterFailureValidate(t *testing.T) {
+	for name, mutate := range map[string]func(*ClusterConfig){
+		"node out of range": func(c *ClusterConfig) { c.Failure.Node = 7 },
+		"crash before window": func(c *ClusterConfig) {
+			c.Failure.CrashAtMS = 0
+			c.Failure.Enabled = true
+		},
+		"crash after window": func(c *ClusterConfig) { c.Failure.CrashAtMS = c.Base.MeasureMS + 1 },
+		"negative reboot":    func(c *ClusterConfig) { c.Failure.RebootMS = -1 },
+		"negative timeline":  func(c *ClusterConfig) { c.TimelineBucketMS = -1 },
+	} {
+		cfg := failCluster(t, 1000)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate passed", name)
+		}
+	}
+}
+
+// TestClusterFailureAvailability: after a mid-window crash the cluster
+// keeps committing (survivors absorb rerouted arrivals), throughput dips
+// around the outage and ramps back once the node rejoins, and the whole
+// run is deterministic.
+func TestClusterFailureAvailability(t *testing.T) {
+	run := func() *ClusterResult {
+		res, err := RunCluster(failCluster(t, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	agg := res.Cluster
+	if agg.Restart == nil || !agg.Restart.Recovered {
+		t.Fatalf("node 0 never recovered: %+v", agg.Restart)
+	}
+	if agg.Restart.Node != 0 {
+		t.Fatalf("restart report for node %d, want 0", agg.Restart.Node)
+	}
+	if len(agg.Timeline) == 0 {
+		t.Fatal("no commit timeline")
+	}
+	var total int64
+	for _, n := range agg.Timeline {
+		total += n
+	}
+	if total != agg.Commits {
+		t.Fatalf("timeline sums to %d commits, aggregate has %d", total, agg.Commits)
+	}
+	// The crash lands in bucket 2 (1000 ms / 500 ms buckets); the cluster
+	// must still commit in every bucket after it — node 1 absorbs the load.
+	crashBucket := int(1000 / 500)
+	for i := crashBucket; i < len(agg.Timeline); i++ {
+		if agg.Timeline[i] == 0 {
+			t.Fatalf("bucket %d has no commits — survivors did not absorb the load: %v",
+				i, agg.Timeline)
+		}
+	}
+	// Both nodes commit over the window: node 0 before the crash and
+	// after rejoining, node 1 throughout.
+	for i, n := range res.Nodes {
+		if n.Commits == 0 {
+			t.Fatalf("node %d committed nothing", i)
+		}
+	}
+	if a, b := run().Report(), res.Report(); a != b {
+		t.Fatalf("failure-injection run is nondeterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestClusterCrashWithoutRecoveryWindow: a crash so late the node cannot
+// finish redo inside the window still reports, unrecovered.
+func TestClusterCrashWithoutRecoveryWindow(t *testing.T) {
+	cfg := failCluster(t, 7990)
+	cfg.Failure.RebootMS = 60_000 // reboot alone outlasts the window
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Cluster.Restart
+	if r == nil || r.Recovered {
+		t.Fatalf("want an unrecovered restart report, got %+v", r)
+	}
+	if !strings.Contains(r.String(), "NOT RECOVERED") {
+		t.Fatalf("report line misses the unrecovered marker: %s", r)
+	}
+}
+
+// TestSingleNodeClusterCrashDropsArrivals: with every node down the
+// rerouter finds no target and in-window arrivals are dropped.
+func TestSingleNodeClusterCrashDropsArrivals(t *testing.T) {
+	base := dcConfig(t, 200)
+	base.WarmupMS = 1000
+	base.MeasureMS = 6000
+	base.Buffer.CheckpointIntervalMS = 800
+	cfg := ClusterConfig{
+		Base:       base,
+		NumNodes:   1,
+		Generators: []workload.Generator{base.Generator},
+		Failure:    FailureConfig{Enabled: true, Node: 0, CrashAtMS: 1000, RebootMS: 100},
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster.Dropped == 0 {
+		t.Fatal("no arrivals dropped during a single-node outage")
+	}
+	if res.Cluster.Restart == nil || !res.Cluster.Restart.Recovered {
+		t.Fatalf("node never recovered: %+v", res.Cluster.Restart)
+	}
+}

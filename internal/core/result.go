@@ -64,6 +64,16 @@ type Result struct {
 	LockMsgs      int64 // messages to the global lock manager (window)
 	Invalidations int64 // MM copies invalidated by remote writers (window; aggregate only)
 	DirtyHandoffs int64 // invalidations that handed off a dirty copy (window; aggregate only)
+
+	// Crash recovery (nil/empty without failure injection or restart
+	// measurement).
+	Restart          *RestartReport
+	TimelineBucketMS float64 // width of one Timeline bucket
+	Timeline         []int64 // commits per bucket over the window
+	// CrashedTimeline is the crashed node's own commit timeline (set on
+	// the cluster aggregate of a failure-injection run): its zero gap is
+	// the outage, its resumption the rejoin.
+	CrashedTimeline []int64
 }
 
 // String renders a compact one-line summary for logs and examples.
@@ -104,6 +114,16 @@ func (r *Result) Report() string {
 	if r.Invalidations > 0 {
 		fmt.Fprintf(&b, "coherence:         %d invalidations (%d dirty hand-offs)\n",
 			r.Invalidations, r.DirtyHandoffs)
+	}
+	if r.Restart != nil {
+		fmt.Fprintf(&b, "recovery:          %s\n", r.Restart)
+	}
+	if len(r.Timeline) > 0 {
+		fmt.Fprintf(&b, "commit timeline (%.0f ms buckets):", r.TimelineBucketMS)
+		for _, n := range r.Timeline {
+			fmt.Fprintf(&b, " %d", n)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	if r.Saturated {
 		fmt.Fprintf(&b, "WARNING: input queue saturated; offered load exceeds capacity\n")

@@ -31,6 +31,13 @@ type ClusterSetup struct {
 	GlobalLocks   bool
 	Contention    bool           // section 4.7 contention workload instead of Debit-Credit
 	Granularity   cc.Granularity // lock granularity for the contention workload
+
+	// Recovery / availability knobs (the recovery.* experiments).
+	CheckpointMS     float64 // fuzzy-checkpoint interval (0: no daemon)
+	CrashAtMS        float64 // crash CrashNode this far into the window (0: no crash)
+	CrashNode        int
+	RebootMS         float64
+	TimelineBucketMS float64 // record cluster commits per bucket
 }
 
 // Build assembles the cluster configuration.
@@ -100,6 +107,7 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 	}
 	bufCfg.Partitions = parts
 	bufCfg.Log = logAlloc
+	bufCfg.CheckpointIntervalMS = s.CheckpointMS
 	base.Buffer = bufCfg
 
 	base.DiskUnits = []storage.DiskUnitConfig{
@@ -111,13 +119,23 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 			NumDisks: 8, DiskDelay: core.DefaultLogDiskDelay},
 	}
 
-	return core.ClusterConfig{
-		Base:            base,
-		NumNodes:        s.Nodes,
-		Generators:      gens,
-		SharedNVEMCache: s.SharedNVEM > 0,
-		GlobalLocks:     s.GlobalLocks,
-	}, nil
+	cfg := core.ClusterConfig{
+		Base:             base,
+		NumNodes:         s.Nodes,
+		Generators:       gens,
+		SharedNVEMCache:  s.SharedNVEM > 0,
+		GlobalLocks:      s.GlobalLocks,
+		TimelineBucketMS: s.TimelineBucketMS,
+	}
+	if s.CrashAtMS > 0 {
+		cfg.Failure = core.FailureConfig{
+			Enabled:   true,
+			Node:      s.CrashNode,
+			CrashAtMS: s.CrashAtMS,
+			RebootMS:  s.RebootMS,
+		}
+	}
+	return cfg, nil
 }
 
 // Run builds and executes the setup, returning the cluster-wide aggregate

@@ -47,6 +47,9 @@ func TestGoldenOutputs(t *testing.T) {
 		"ablation.migration-modes":   {"nvem-add-hit-pct"},
 		"ablation.destage-policy":    {"immediate", "deferred"},
 		"ablation.clustering":        {"clustered", "unclustered"},
+		"recovery.restart":           {"log-disk / db-disk", "log-nvem / db-ssd", "restart-ms", "redo-pages"},
+		"recovery.checkpoint":        {"log-disk", "log-nvem", "restart time"},
+		"recovery.availability":      {"shared-nvem", "private-nvem", "Restart breakdown", "restart-ms"},
 		"cluster.scaleout":           {"shared-nvem", "disk-only", "shared-nvem:nvem"},
 		"cluster.allocation":         {"shared-nvem-cache", "private-nvem-caches", "disk-only"},
 		"cluster.locking":            {"local:page-locks", "global:object-locks", "messages per committed tx"},

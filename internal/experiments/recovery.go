@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Crash-recovery experiments: the axis of the paper's argument that
+// steady-state figures cannot show. NOFORCE is only viable with fuzzy
+// checkpointing, and placing the log (and database) on non-volatile
+// semiconductor memory is what makes fast restart possible — so these
+// experiments crash the simulated system and measure what happens:
+// restart time per storage placement (recovery.restart), the
+// checkpoint-interval trade-off (recovery.checkpoint), and the cluster
+// throughput dip and ramp-back around a node failure
+// (recovery.availability).
+
+// defaultCkptIntervalMS is the fuzzy-checkpoint interval of the
+// restart-placement experiment (quick windows fit ~3 checkpoints, full
+// windows ~7); the interval sweep below varies it explicitly.
+const defaultCkptIntervalMS = 5_000
+
+// RecoverySetup is one single-node crash-recovery simulation point: a
+// Debit-Credit run with the checkpoint daemon on, crashed after the
+// measurement window to measure restart time (core.MeasureRestart).
+type RecoverySetup struct {
+	DC           DCSetup
+	CheckpointMS float64
+	RebootMS     float64
+}
+
+// Run builds and executes the setup.
+func (s RecoverySetup) Run(o Options) (*core.Result, error) {
+	cfg, err := s.DC.Build(o)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Buffer.CheckpointIntervalMS = s.CheckpointMS
+	return core.MeasureRestart(cfg, s.RebootMS)
+}
+
+// Restart metrics.
+
+func restartMS(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return r.Restart.RestartMS
+}
+
+func logScanMS(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return r.Restart.LogScanMS
+}
+
+func redoMS(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return r.Restart.RedoMS
+}
+
+func restartEstimateMS(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return r.Restart.EstimateMS
+}
+
+func restartLogPages(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return float64(r.Restart.Snapshot.LogPages)
+}
+
+func restartRedoPages(r *core.Result) float64 {
+	if r.Restart == nil {
+		return 0
+	}
+	return float64(r.Restart.Snapshot.RedoPages)
+}
+
+// RecoveryRestart measures restart time after a crash for the log and
+// database placements of Fig 3.2: the redo log scan is device-bound, so
+// restart orders NVEM < SSD < disk; putting the database itself on SSD
+// additionally collapses the redo page I/O.
+func RecoveryRestart(o Options) (*stats.Table, error) {
+	type rowSpec struct {
+		label string
+		dc    DCSetup
+	}
+	const rate = 200
+	rows := []rowSpec{
+		{"log-disk / db-disk", DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogDisk}}},
+		{"log-wb / db-disk", DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogDiskWB, Size: 500}}},
+		{"log-ssd / db-disk", DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogSSD}}},
+		{"log-nvem / db-disk", DCSetup{Rate: rate, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogNVEM}}},
+		{"log-nvem / db-ssd", DCSetup{Rate: rate, DB: DBSpec{Kind: DBSSD}, Log: LogSpec{Kind: LogNVEM}}},
+	}
+	cols := []string{"restart-ms", "log-scan-ms", "redo-ms", "est-ms", "log-pages", "redo-pages"}
+	metrics := []func(*core.Result) float64{
+		restartMS, logScanMS, redoMS, restartEstimateMS, restartLogPages, restartRedoPages,
+	}
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		labels[i] = r.label
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Restart time by log/database placement (Debit-Credit %d TPS, NOFORCE, ckpt %.0fs)",
+			rate, defaultCkptIntervalMS/1000.0),
+		"placement", labels, cols)
+
+	g := newGrid(o, len(rows), 1)
+	for r, spec := range rows {
+		g.add(r, 0, func(o Options) (*core.Result, error) {
+			res, err := RecoverySetup{DC: spec.dc, CheckpointMS: defaultCkptIntervalMS, RebootMS: 500}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("recovery.restart %s: %w", spec.label, err)
+			}
+			return res, nil
+		})
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	for r := range rows {
+		for c, metric := range metrics {
+			mean, ci := cells[r][0].meanCI(metric)
+			if o.reps() > 1 {
+				tbl.SetCI(r, c, mean, ci)
+			} else {
+				tbl.Set(r, c, mean)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// ckptIntervals is the checkpoint-interval sweep (milliseconds).
+func (o Options) ckptIntervals() []float64 {
+	if o.Quick {
+		return []float64{2_000, 5_000, 10_000}
+	}
+	return []float64{2_000, 5_000, 10_000, 20_000}
+}
+
+// RecoveryCheckpoint sweeps the fuzzy-checkpoint interval: the runtime
+// cost of checkpointing (response time with the daemon's flush I/O in
+// the background) against the restart time it buys. Short intervals
+// bound the redo log tightly; the log device then decides how much that
+// still matters.
+func RecoveryCheckpoint(o Options) (*stats.Figure, *stats.Figure, error) {
+	resp := &stats.Figure{
+		Title:  "Checkpoint interval: runtime cost (Debit-Credit 200 TPS, NOFORCE)",
+		XLabel: "interval ms",
+		YLabel: "mean response time [ms]",
+		X:      o.ckptIntervals(),
+	}
+	restart := &stats.Figure{
+		Title:  "Checkpoint interval: restart time",
+		XLabel: "interval ms",
+		YLabel: "restart time [ms]",
+		X:      o.ckptIntervals(),
+	}
+	type scheme struct {
+		label string
+		log   LogSpec
+	}
+	schemes := []scheme{
+		{"log-disk", LogSpec{Kind: LogDisk}},
+		{"log-nvem", LogSpec{Kind: LogNVEM}},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	g := newGrid(o, len(schemes), len(resp.X))
+	for si := range schemes {
+		for xi := range resp.X {
+			si, xi := si, xi
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				sc, interval := schemes[si], resp.X[xi]
+				res, err := RecoverySetup{
+					DC:           DCSetup{Rate: 200, DB: DBSpec{Kind: DBRegular}, Log: sc.log},
+					CheckpointMS: interval,
+					RebootMS:     500,
+				}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("recovery.checkpoint %s @%v: %w", sc.label, interval, err)
+				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, label := range labels {
+		points, cis := seriesOf(cells[si], respMean)
+		if err := resp.AddSeriesCI(label, points, cis); err != nil {
+			return nil, nil, err
+		}
+		r, rCI := seriesOf(cells[si], restartMS)
+		if err := restart.AddSeriesCI(label, r, rCI); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, restart, nil
+}
+
+// bucketMetric extracts one timeline bucket as a grid metric.
+func bucketMetric(timeline func(*core.Result) []int64, b int) func(*core.Result) float64 {
+	return func(r *core.Result) float64 {
+		tl := timeline(r)
+		if b >= len(tl) {
+			return 0
+		}
+		return float64(tl[b])
+	}
+}
+
+// RecoveryAvailability crashes node 0 of a 4-node data-sharing cluster
+// mid-window and charts two commit timelines per storage scheme: the
+// cluster-wide one (the survivors absorb the rerouted arrivals, so it
+// holds — that is the availability argument for data sharing) and the
+// crashed node's own (its zero gap is the outage; its length is what the
+// log and checkpoint placement decide). NVEM schemes keep the log in
+// extended memory and restart quickly; the disk-only scheme pays a
+// device-speed log scan and redo on top of the same reboot.
+func RecoveryAvailability(o Options) (*stats.Figure, *stats.Table, error) {
+	const (
+		nodes     = 4
+		rate      = 400
+		bucketMS  = 1_000.0
+		crashAtMS = 3_000.0
+		rebootMS  = 500.0
+	)
+	_, measure := o.windows()
+	buckets := int(measure / bucketMS)
+	x := make([]float64, buckets)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	fig := &stats.Figure{
+		Title: fmt.Sprintf("Cluster availability: node 0 of %d crashes at +%.0f s (Debit-Credit %d TPS aggregate)",
+			nodes, crashAtMS/1000, rate),
+		XLabel: "window second",
+		YLabel: "commits per second",
+		X:      x,
+	}
+	type scheme struct {
+		label           string
+		shared, private int
+	}
+	schemes := []scheme{
+		{"shared-nvem", 2000, 0},
+		{"private-nvem", 0, 2000 / nodes},
+		{"disk-only", 0, 0},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	tbl := stats.NewTable("Restart breakdown", "scheme", labels,
+		[]string{"restart-ms", "log-scan-ms", "redo-ms", "log-pages", "redo-pages"})
+
+	g := newGrid(o, len(schemes), 1)
+	for si, sc := range schemes {
+		g.add(si, 0, func(o Options) (*core.Result, error) {
+			res, err := ClusterSetup{
+				Nodes: nodes, AggregateRate: rate,
+				SharedNVEM: sc.shared, PrivateNVEM: sc.private,
+				GlobalLocks: true,
+				// Not a divisor of the crash instant in either window
+				// setting, so the crash never lands exactly on a
+				// checkpoint (which would leave zero redo pages).
+				CheckpointMS: 2_600,
+				CrashAtMS:    crashAtMS, CrashNode: 0, RebootMS: rebootMS,
+				TimelineBucketMS: bucketMS,
+			}.Run(o)
+			if err != nil {
+				return nil, fmt.Errorf("recovery.availability %s: %w", sc.label, err)
+			}
+			return res, nil
+		})
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	series := []struct {
+		suffix   string
+		timeline func(*core.Result) []int64
+	}{
+		{"cluster", func(r *core.Result) []int64 { return r.Timeline }},
+		{"node0", func(r *core.Result) []int64 { return r.CrashedTimeline }},
+	}
+	for si, label := range labels {
+		for _, sr := range series {
+			points := make([]float64, buckets)
+			cis := make([]float64, buckets)
+			for b := range points {
+				points[b], cis[b] = cells[si][0].meanCI(bucketMetric(sr.timeline, b))
+			}
+			if len(cells[si][0].results) <= 1 {
+				cis = nil
+			}
+			if err := fig.AddSeriesCI(label+":"+sr.suffix, points, cis); err != nil {
+				return nil, nil, err
+			}
+		}
+		metrics := []func(*core.Result) float64{restartMS, logScanMS, redoMS, restartLogPages, restartRedoPages}
+		for c, metric := range metrics {
+			mean, ci := cells[si][0].meanCI(metric)
+			if o.reps() > 1 {
+				tbl.SetCI(si, c, mean, ci)
+			} else {
+				tbl.Set(si, c, mean)
+			}
+		}
+	}
+	return fig, tbl, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryRestartOrdering reads the rendered restart table and pins
+// the paper's device ordering end to end: NVEM log restarts faster than
+// SSD log, which restarts faster than disk log, and putting the database
+// on SSD collapses redo.
+func TestRecoveryRestartOrdering(t *testing.T) {
+	tbl, err := RecoveryRestart(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(label string) []float64 {
+		for i, lbl := range tbl.RowLbls {
+			if lbl == label {
+				return tbl.Cells[i]
+			}
+		}
+		t.Fatalf("row %q missing from %v", label, tbl.RowLbls)
+		return nil
+	}
+	const restartCol = 0
+	disk := row("log-disk / db-disk")[restartCol]
+	ssd := row("log-ssd / db-disk")[restartCol]
+	nvem := row("log-nvem / db-disk")[restartCol]
+	dbSSD := row("log-nvem / db-ssd")[restartCol]
+	if !(nvem < ssd && ssd < disk) {
+		t.Fatalf("restart ordering violated: nvem=%.1f ssd=%.1f disk=%.1f", nvem, ssd, disk)
+	}
+	if dbSSD >= nvem {
+		t.Fatalf("db-ssd restart %.1f not below db-disk %.1f", dbSSD, nvem)
+	}
+}
+
+// TestRecoveryCheckpointMonotone: longer checkpoint intervals mean
+// longer redo logs and strictly longer restarts.
+func TestRecoveryCheckpointMonotone(t *testing.T) {
+	_, restart, err := RecoveryCheckpoint(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range restart.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i] <= s.Points[i-1] {
+				t.Fatalf("series %s restart not increasing with interval: %v", s.Label, s.Points)
+			}
+		}
+	}
+}
+
+// TestRecoveryAvailabilityShapes: the crashed node's timeline shows a
+// zero outage gap while the cluster-wide timeline never goes dark
+// (survivors absorb the rerouted arrivals), and the rendered output
+// carries the restart table.
+func TestRecoveryAvailabilityShapes(t *testing.T) {
+	fig, tbl, err := RecoveryAvailability(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := func(label string) []float64 {
+		for _, s := range fig.Series {
+			if s.Label == label {
+				return s.Points
+			}
+		}
+		t.Fatalf("series %q missing", label)
+		return nil
+	}
+	for _, scheme := range []string{"shared-nvem", "private-nvem", "disk-only"} {
+		node0 := series(scheme + ":node0")
+		cluster := series(scheme + ":cluster")
+		gap := 0
+		for i := range node0 {
+			if node0[i] == 0 {
+				gap++
+			}
+			if cluster[i] == 0 {
+				t.Fatalf("%s: cluster went dark in bucket %d: %v", scheme, i, cluster)
+			}
+		}
+		if gap == 0 {
+			t.Fatalf("%s: node0 timeline shows no outage: %v", scheme, node0)
+		}
+		if node0[0] == 0 || node0[len(node0)-1] == 0 {
+			t.Fatalf("%s: node0 never ran before the crash or after rejoining: %v", scheme, node0)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "restart-ms") {
+		t.Fatalf("restart table misses restart-ms:\n%s", tbl.Render())
+	}
+}

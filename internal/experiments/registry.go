@@ -176,6 +176,39 @@ func All() []Experiment {
 			Run:   AblationClustering,
 		},
 		{
+			Name:  "recovery.restart",
+			Title: "Restart time after a crash vs. log/database placement",
+			Run: func(o Options) (string, error) {
+				tbl, err := RecoveryRestart(o)
+				if err != nil {
+					return "", err
+				}
+				return tbl.Render(), nil
+			},
+		},
+		{
+			Name:  "recovery.checkpoint",
+			Title: "Fuzzy-checkpoint interval: runtime overhead vs. restart time",
+			Run: func(o Options) (string, error) {
+				resp, restart, err := RecoveryCheckpoint(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + restart.Render(), nil
+			},
+		},
+		{
+			Name:  "recovery.availability",
+			Title: "Cluster throughput dip and ramp-back around a node crash (shared vs. private NVEM)",
+			Run: func(o Options) (string, error) {
+				fig, tbl, err := RecoveryAvailability(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render() + "\n" + tbl.Render(), nil
+			},
+		},
+		{
 			Name:  "cluster.scaleout",
 			Title: "Multi-node scale-out at fixed aggregate load (shared NVEM vs. disk-only)",
 			Run: func(o Options) (string, error) {

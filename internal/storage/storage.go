@@ -309,6 +309,17 @@ func (u *DiskUnit) startDestage(key PageKey) {
 	})
 }
 
+// CrashVolatile clears cache content that does not survive a system
+// crash: a volatile controller cache loses every frame, while
+// non-volatile caches, SSD store and the disk media keep their pages
+// (section 3.3's durability distinction, which the recovery model's
+// restart scan depends on).
+func (u *DiskUnit) CrashVolatile() {
+	if u.cfg.Type == VolatileCache {
+		u.cache = lru.New[PageKey, cacheFrame](u.cfg.CacheSize)
+	}
+}
+
 // CacheLen returns the number of cached frames (0 for cacheless units).
 func (u *DiskUnit) CacheLen() int {
 	if u.cache == nil {

@@ -402,3 +402,33 @@ func TestNVEMQueueing(t *testing.T) {
 		t.Fatalf("last = %v, want 2 (serialized)", last)
 	}
 }
+
+// TestCrashVolatile: a system crash empties a volatile controller cache
+// but leaves non-volatile cache content in place.
+func TestCrashVolatile(t *testing.T) {
+	s := sim.New()
+	vol := regularCfg()
+	vol.Type = VolatileCache
+	vol.CacheSize = 10
+	vu, _ := NewDiskUnit(s, vol, testStream())
+	nv := regularCfg()
+	nv.Type = NVCache
+	nv.CacheSize = 10
+	nu, _ := NewDiskUnit(s, nv, testStream())
+	s.SpawnBlocking("loader", 0, func(b *sim.BlockingProcess) {
+		bRead(b, vu, key(0, 1))
+		bRead(b, nu, key(0, 1))
+	})
+	s.RunAll()
+	if vu.CacheLen() != 1 || nu.CacheLen() != 1 {
+		t.Fatalf("setup: vol=%d nv=%d cached", vu.CacheLen(), nu.CacheLen())
+	}
+	vu.CrashVolatile()
+	nu.CrashVolatile()
+	if vu.CacheLen() != 0 {
+		t.Fatalf("volatile cache survived the crash: %d frames", vu.CacheLen())
+	}
+	if nu.CacheLen() != 1 {
+		t.Fatalf("non-volatile cache lost its frame: %d", nu.CacheLen())
+	}
+}

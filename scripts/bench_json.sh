@@ -1,0 +1,39 @@
+#!/bin/sh
+# Runs the Go benchmark suite and emits a machine-readable snapshot as
+# BENCH_<date>.json in the repository root — one point of the performance
+# trajectory for the kernel/engine hot paths. Compare snapshots across
+# commits (or feed two raw runs to benchstat for significance).
+#
+# Usage:
+#   ./scripts/bench_json.sh                    # full suite, one iteration each
+#   ./scripts/bench_json.sh 'SimKernel|Engine' # subset by regexp
+#   BENCHTIME=2s ./scripts/bench_json.sh       # longer sampling per benchmark
+set -eu
+cd "$(dirname "$0")/.."
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1x}"
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$tmp"
+
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v benchtime="$benchtime" '
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), $(i + 1), $i)
+    }
+    entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, metrics)
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, goversion, benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -55,6 +55,27 @@ type (
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
+// Multi-node data sharing and crash recovery.
+type (
+	// ClusterConfig describes a multi-node data-sharing simulation.
+	ClusterConfig = core.ClusterConfig
+	// ClusterResult carries a cluster run's aggregate and per-node metrics.
+	ClusterResult = core.ClusterResult
+	// FailureConfig injects one node crash into a cluster run.
+	FailureConfig = core.FailureConfig
+	// RestartReport describes a simulated crash and redo recovery.
+	RestartReport = core.RestartReport
+)
+
+// RunCluster executes one multi-node data-sharing simulation.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return core.RunCluster(cfg) }
+
+// MeasureRestart runs cfg like Run, then crashes the system after the
+// measurement window and simulates redo recovery, filling Result.Restart.
+func MeasureRestart(cfg Config, rebootMS float64) (*Result, error) {
+	return core.MeasureRestart(cfg, rebootMS)
+}
+
 // Defaults returns the CM parameter settings of the paper's Table 4.1.
 func Defaults() Config { return core.Defaults() }
 
