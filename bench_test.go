@@ -315,6 +315,41 @@ func BenchmarkSimKernel(b *testing.B) {
 	s.RunAll()
 }
 
+// BenchmarkKernelHeap10M pushes the event heap past 10^7 events in one
+// kernel run with a resident population of 1024 concurrent timers, so the
+// heap's up/down sifts work at realistic depth instead of the near-empty
+// heap BenchmarkSimKernel exercises. One iteration is one full run; the
+// events/op metric pins the volume so ns/op tracks per-event cost across
+// the BENCH_* trajectory.
+func BenchmarkKernelHeap10M(b *testing.B) {
+	b.ReportAllocs()
+	const (
+		timers      = 1 << 10
+		perTimer    = 10_240
+		totalEvents = timers * perTimer // 10,485,760 > 10^7
+	)
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		rnd := rng.NewStream(1, "heap-bench")
+		for t := 0; t < timers; t++ {
+			s.Spawn("timer", rnd.Float64(), func(p *sim.Process) {
+				n := 0
+				var tick func()
+				tick = func() {
+					n++
+					if n < perTimer {
+						// Jittered holds keep the heap genuinely unordered.
+						p.Hold(0.5+rnd.Float64(), tick)
+					}
+				}
+				tick()
+			})
+		}
+		s.RunAll()
+	}
+	b.ReportMetric(totalEvents, "events/op")
+}
+
 // BenchmarkSimResource measures acquire/hold/release cycles.
 func BenchmarkSimResource(b *testing.B) {
 	b.ReportAllocs()

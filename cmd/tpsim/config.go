@@ -47,13 +47,21 @@ type fileConfig struct {
 }
 
 type clusterConfig struct {
-	NumNodes         int            `json:"numNodes"`
-	SharedNVEMCache  bool           `json:"sharedNVEMCache"`
-	GlobalLocks      bool           `json:"globalLocks"`
-	InstrLockMsg     float64        `json:"instrLockMsg"`
-	LockMsgDelayMS   float64        `json:"lockMsgDelayMS"`
-	TimelineBucketMS float64        `json:"timelineBucketMS"`
-	Failure          *failureConfig `json:"failure"`
+	NumNodes         int              `json:"numNodes"`
+	SharedNVEMCache  bool             `json:"sharedNVEMCache"`
+	GlobalLocks      bool             `json:"globalLocks"`
+	InstrLockMsg     float64          `json:"instrLockMsg"`
+	LockMsgDelayMS   float64          `json:"lockMsgDelayMS"`
+	TimelineBucketMS float64          `json:"timelineBucketMS"`
+	Failure          *failureConfig   `json:"failure"`
+	Admission        *admissionConfig `json:"admission"`
+}
+
+// admissionConfig enables the recovery-aware admission controller: while a
+// node is down, rerouted arrivals are shed once the surviving target's
+// input queue exceeds queueFactor × MPL (0 → the engine default of 1.0).
+type admissionConfig struct {
+	QueueFactor float64 `json:"queueFactor"`
 }
 
 // failureConfig injects one node crash (offset into the measurement
@@ -68,6 +76,10 @@ type workloadConfig struct {
 	Kind string  `json:"kind"` // "debitcredit", "trace" or "synthetic"
 	Rate float64 `json:"rate"`
 
+	// Arrival selects the arrival process of every transaction-type
+	// stream. Absent: Poisson (the paper's evaluation).
+	Arrival *arrivalConfig `json:"arrival"`
+
 	// Debit-Credit overrides (zero = Table 4.1 defaults).
 	Branches  int64 `json:"branches"`
 	Accounts  int64 `json:"accounts"`
@@ -80,6 +92,59 @@ type workloadConfig struct {
 
 	// General synthetic model.
 	Synthetic *tpsim.Model `json:"synthetic"`
+}
+
+// arrivalConfig is the JSON form of tpsim.ArrivalSpec. Kind selects the
+// family; only that family's parameters apply.
+type arrivalConfig struct {
+	Kind string `json:"kind"` // poisson (default), mmpp, diurnal, spike
+
+	// mmpp: bursts at burstFactor × the mean rate covering burstFrac of
+	// the time (mean burst sojourn burstMeanMS; 0 → 500 ms), base rate
+	// derived so the long-run mean rate is workload.rate.
+	BurstFactor float64 `json:"burstFactor"`
+	BurstFrac   float64 `json:"burstFrac"`
+	BurstMeanMS float64 `json:"burstMeanMS"`
+
+	// diurnal: rate(t) = mean · (1 + amplitude · sin(2πt/periodMS + phaseRad)).
+	Amplitude float64 `json:"amplitude"`
+	PeriodMS  float64 `json:"periodMS"`
+	PhaseRad  float64 `json:"phaseRad"`
+
+	// spike: rate × spikeFactor over [spikeAtMS, spikeAtMS+spikeDurMS),
+	// offsets into the measurement window (the clock failure.crashAtMS
+	// uses, so a spike aligns with a crash by construction).
+	SpikeFactor float64 `json:"spikeFactor"`
+	SpikeAtMS   float64 `json:"spikeAtMS"`
+	SpikeDurMS  float64 `json:"spikeDurMS"`
+}
+
+// assemble maps the JSON form onto the engine spec.
+func (a *arrivalConfig) assemble() (tpsim.ArrivalSpec, error) {
+	spec := tpsim.ArrivalSpec{
+		BurstFactor: a.BurstFactor,
+		BurstFrac:   a.BurstFrac,
+		BurstMeanMS: a.BurstMeanMS,
+		Amplitude:   a.Amplitude,
+		PeriodMS:    a.PeriodMS,
+		PhaseRad:    a.PhaseRad,
+		SpikeFactor: a.SpikeFactor,
+		SpikeAtMS:   a.SpikeAtMS,
+		SpikeDurMS:  a.SpikeDurMS,
+	}
+	switch a.Kind {
+	case "poisson", "":
+		spec.Kind = tpsim.ArrivalPoisson
+	case "mmpp":
+		spec.Kind = tpsim.ArrivalMMPP
+	case "diurnal":
+		spec.Kind = tpsim.ArrivalDiurnal
+	case "spike":
+		spec.Kind = tpsim.ArrivalSpike
+	default:
+		return spec, fmt.Errorf("unknown arrival kind %q", a.Kind)
+	}
+	return spec, spec.Validate()
 }
 
 type diskUnitConfig struct {
@@ -190,6 +255,12 @@ func (fc *fileConfig) assembleCluster() (tpsim.Config, *tpsim.ClusterConfig, err
 			RebootMS:  cl.Failure.RebootMS,
 		}
 	}
+	if cl.Admission != nil {
+		ccfg.Admission = tpsim.AdmissionConfig{
+			Enabled:     true,
+			QueueFactor: cl.Admission.QueueFactor,
+		}
+	}
 	return base, ccfg, nil
 }
 
@@ -213,6 +284,13 @@ func (fc *fileConfig) assemble() (tpsim.Config, error) {
 
 	if err := fc.workload(&cfg); err != nil {
 		return cfg, err
+	}
+	if fc.Workload.Arrival != nil {
+		spec, err := fc.Workload.Arrival.assemble()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Arrival = spec
 	}
 
 	cfg.CCModes = make([]tpsim.Granularity, len(cfg.Partitions))

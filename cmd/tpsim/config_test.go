@@ -141,6 +141,90 @@ func TestClusterConfigLoadsAndRuns(t *testing.T) {
 	}
 }
 
+// TestWorkloadExampleLoadsAndRuns: the spike-crash example parses — spike
+// arrival process, crash-aligned failure, admission controller — and a
+// shortened run sheds rerouted arrivals while the survivors keep
+// committing.
+func TestWorkloadExampleLoadsAndRuns(t *testing.T) {
+	base, cluster, err := load(strings.NewReader(exampleWorkloadConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster == nil {
+		t.Fatal("no cluster configuration")
+	}
+	if base.Arrival.Kind != tpsim.ArrivalSpike {
+		t.Fatalf("arrival kind = %v, want spike", base.Arrival.Kind)
+	}
+	if base.Arrival.SpikeFactor != 5 || base.Arrival.SpikeAtMS != 3000 || base.Arrival.SpikeDurMS != 5000 {
+		t.Fatalf("spike parameters not wired: %+v", base.Arrival)
+	}
+	if base.Arrival.SpikeAtMS != cluster.Failure.CrashAtMS {
+		t.Fatalf("example spike (%v) not aligned with the crash (%v)",
+			base.Arrival.SpikeAtMS, cluster.Failure.CrashAtMS)
+	}
+	if !cluster.Admission.Enabled || cluster.Admission.QueueFactor != 0.25 {
+		t.Fatalf("admission not wired: %+v", cluster.Admission)
+	}
+	res, err := tpsim.RunCluster(*cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	if res.Cluster.Shed == 0 {
+		t.Fatal("spike-crash example shed nothing")
+	}
+	if res.Cluster.SurvivorRespMean == 0 {
+		t.Fatal("no survivor response time")
+	}
+	if !strings.Contains(res.Cluster.Report(), "admission control:") {
+		t.Fatalf("report missing admission line:\n%s", res.Cluster.Report())
+	}
+}
+
+// TestArrivalConfigFromJSON covers the arrival-section parsing for every
+// kind plus its error paths.
+func TestArrivalConfigFromJSON(t *testing.T) {
+	prefix := `{"workload":{"kind":"debitcredit","rate":40,"arrival":`
+	suffix := `},
+	  "diskUnits":[{"name":"d","numControllers":1,"contrDelayMS":1,"numDisks":4,"diskDelayMS":15}],
+	  "buffer":{"bufferSize":100,"partitions":[{},{},{}],"log":{}}}`
+	good := map[string]tpsim.ArrivalKind{
+		`{"kind":"poisson"}`: tpsim.ArrivalPoisson,
+		`{}`:                 tpsim.ArrivalPoisson,
+		`{"kind":"mmpp","burstFactor":4,"burstFrac":0.1}`:     tpsim.ArrivalMMPP,
+		`{"kind":"diurnal","amplitude":0.8,"periodMS":10000}`: tpsim.ArrivalDiurnal,
+		`{"kind":"spike","spikeFactor":3,"spikeDurMS":2000}`:  tpsim.ArrivalSpike,
+	}
+	for in, kind := range good {
+		cfg, _, err := load(strings.NewReader(prefix + in + suffix))
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if cfg.Arrival.Kind != kind {
+			t.Errorf("%s: kind %v, want %v", in, cfg.Arrival.Kind, kind)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", in, err)
+		}
+	}
+	bad := []string{
+		`{"kind":"fractal"}`,
+		`{"kind":"mmpp","burstFactor":0.5,"burstFrac":0.1}`,
+		`{"kind":"mmpp","burstFactor":20,"burstFrac":0.1}`,
+		`{"kind":"diurnal","amplitude":1.5,"periodMS":1000}`,
+		`{"kind":"spike","spikeFactor":3}`,
+	}
+	for _, in := range bad {
+		if _, _, err := load(strings.NewReader(prefix + in + suffix)); err == nil {
+			t.Errorf("%s: expected error", in)
+		}
+	}
+}
+
 // TestClusterConfigRejectsBadValues covers cluster-section validation.
 func TestClusterConfigRejectsBadValues(t *testing.T) {
 	min := `"workload":{"kind":"debitcredit","rate":40},

@@ -6,14 +6,18 @@
 //	tpsim -config run.json
 //	tpsim -example            # print an example single-node configuration
 //	tpsim -example-cluster    # print an example multi-node configuration
+//	tpsim -example-workload   # print an example spike-crash workload configuration
 //
 // The JSON schema mirrors the engine configuration: CM parameters (Table
 // 3.3 of the paper), disk units (Table 3.4), buffer-manager allocation
 // (Fig 3.2, including the fuzzy-checkpoint interval) and a workload
-// selector (debitcredit / trace / synthetic). A "cluster" section
-// switches to a multi-node data-sharing run — node count, shared vs.
-// private NVEM cache, global vs. local locking, and optional crash
-// injection with redo recovery.
+// selector (debitcredit / trace / synthetic). A "workload.arrival"
+// section swaps the arrival process (poisson / mmpp / diurnal / spike). A
+// "cluster" section switches to a multi-node data-sharing run — node
+// count, shared vs. private NVEM cache, global vs. local locking,
+// optional crash injection with redo recovery, and the recovery-aware
+// admission controller ("cluster.admission") that sheds rerouted arrivals
+// above a survivor-capacity threshold.
 package main
 
 import (
@@ -76,6 +80,47 @@ const exampleClusterConfig = `{
   }
 }`
 
+// exampleWorkloadConfig is the spike-crash scenario: a 5× load spike lands
+// on a 4-node cluster at the same instant node 0 crashes, and the admission
+// controller sheds rerouted overflow above a quarter-MPL survivor queue.
+// Swap the arrival section for {"kind": "mmpp", "burstFactor": 4,
+// "burstFrac": 0.1} or {"kind": "diurnal", "amplitude": 0.8, "periodMS":
+// 10000} for bursty or day/night load.
+const exampleWorkloadConfig = `{
+  "seed": 1,
+  "warmupMS": 6000,
+  "measureMS": 12000,
+  "workload": {
+    "kind": "debitcredit",
+    "rate": 400,
+    "arrival": {"kind": "spike", "spikeFactor": 5, "spikeAtMS": 3000, "spikeDurMS": 5000}
+  },
+  "ccModes": ["page", "page", "none"],
+  "nvemServers": 1,
+  "nvemDelayMS": 0.05,
+  "diskUnits": [
+    {"name": "db", "type": "regular", "numControllers": 12,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 96, "diskDelayMS": 15},
+    {"name": "log", "type": "regular", "numControllers": 2,
+     "contrDelayMS": 1.0, "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 5}
+  ],
+  "buffer": {
+    "bufferSize": 500,
+    "checkpointIntervalMS": 2600,
+    "nvemCacheSize": 2000,
+    "partitions": [{"nvemCache": true}, {"nvemCache": true}, {"nvemCache": true}],
+    "log": {"nvemResident": true}
+  },
+  "cluster": {
+    "numNodes": 4,
+    "sharedNVEMCache": true,
+    "globalLocks": true,
+    "timelineBucketMS": 1000,
+    "failure": {"node": 0, "crashAtMS": 3000, "rebootMS": 500},
+    "admission": {"queueFactor": 0.25}
+  }
+}`
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -88,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	path := fs.String("config", "", "JSON configuration file")
 	example := fs.Bool("example", false, "print an example single-node configuration and exit")
 	exampleCluster := fs.Bool("example-cluster", false, "print an example multi-node configuration and exit")
+	exampleWorkload := fs.Bool("example-workload", false, "print an example spike-crash workload configuration and exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -101,6 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	case *exampleCluster:
 		fmt.Fprintln(stdout, exampleClusterConfig)
+		return 0
+	case *exampleWorkload:
+		fmt.Fprintln(stdout, exampleWorkloadConfig)
 		return 0
 	case *path == "":
 		fs.Usage()

@@ -25,6 +25,10 @@ func TestRunExamples(t *testing.T) {
 	if code != 0 || !strings.Contains(out, `"cluster"`) {
 		t.Fatalf("-example-cluster: code=%d out=%q", code, out)
 	}
+	code, out, _ = runCmd(t, "-example-workload")
+	if code != 0 || !strings.Contains(out, `"arrival"`) || !strings.Contains(out, `"admission"`) {
+		t.Fatalf("-example-workload: code=%d out=%q", code, out)
+	}
 }
 
 func TestRunUsageAndErrors(t *testing.T) {

@@ -21,6 +21,34 @@ const (
 	DefaultLockMsgDelayMS = 0.1
 )
 
+// DefaultAdmissionQueueFactor is the survivor-capacity threshold of the
+// admission controller when AdmissionConfig.QueueFactor is zero: a rerouted
+// arrival is shed once the target's input queue holds one full MPL batch.
+const DefaultAdmissionQueueFactor = 1.0
+
+// AdmissionConfig is the recovery-aware admission controller on the
+// cluster's arrival rerouter. While a node is down its arrivals reroute to
+// the survivors; without admission control they queue there without bound
+// and the backlog outlives the recovery. With Enabled, a rerouted arrival
+// is shed (counted in Result.Shed, not executed) when the surviving
+// target's input queue already holds QueueFactor × MPL waiting
+// transactions — the survivors keep serving their own load at normal
+// response times instead of dragging everyone into the backlog.
+type AdmissionConfig struct {
+	Enabled bool
+	// QueueFactor is the shedding threshold in multiples of the target
+	// node's MPL. Zero means DefaultAdmissionQueueFactor.
+	QueueFactor float64
+}
+
+// validate checks the admission description.
+func (a *AdmissionConfig) validate() error {
+	if a.QueueFactor < 0 {
+		return fmt.Errorf("core: admission QueueFactor = %v", a.QueueFactor)
+	}
+	return nil
+}
+
 // ClusterConfig describes a multi-node data-sharing simulation: N
 // transaction-processing nodes — each with its own CPUs, MPL, main-memory
 // buffer and arrival streams — sharing the disk units and one global NVEM
@@ -61,6 +89,11 @@ type ClusterConfig struct {
 	// rejoins (recovery.go). The zero value disables injection.
 	Failure FailureConfig
 
+	// Admission sheds rerouted arrivals above a survivor-capacity
+	// threshold while a node is down, instead of queueing them. The zero
+	// value queues everything (the pre-admission behaviour).
+	Admission AdmissionConfig
+
 	// TimelineBucketMS, when positive, records cluster-wide commits per
 	// time bucket over the measurement window (Result.Timeline) — the
 	// availability experiments read the throughput dip and ramp-back
@@ -83,6 +116,9 @@ func (c *ClusterConfig) Validate() error {
 		return fmt.Errorf("core: SharedNVEMCache with NVEMCacheSize = %d", c.Base.Buffer.NVEMCacheSize)
 	}
 	if err := c.Failure.validate(c.NumNodes, c.Base.MeasureMS); err != nil {
+		return err
+	}
+	if err := c.Admission.validate(); err != nil {
 		return err
 	}
 	if c.TimelineBucketMS < 0 {
@@ -133,6 +169,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		failure:          cfg.Failure,
 		trackActive:      cfg.Failure.Enabled,
 		timelineBucketMS: cfg.TimelineBucketMS,
+		admission:        cfg.Admission,
 	}
 	if cfg.GlobalLocks {
 		opts.globalLocks = true
@@ -160,6 +197,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.Failure.Enabled {
 		out.Cluster.Restart = c.nodes[cfg.Failure.Node].restartReport()
 		out.Cluster.CrashedTimeline = out.Nodes[cfg.Failure.Node].Timeline
+		out.Cluster.SurvivorRespMean = survivorRespMean(out.Nodes, cfg.Failure.Node)
 	}
 	c.finish()
 	return out, nil
@@ -175,10 +213,12 @@ type clusterOpts struct {
 	// failure injects a crash boundary into the phase schedule;
 	// trackActive makes nodes register in-flight transactions so a crash
 	// can kill them (also set by MeasureRestart, which crashes after the
-	// window). timelineBucketMS enables the commit timeline.
+	// window). timelineBucketMS enables the commit timeline. admission
+	// sheds rerouted arrivals above the survivor-capacity threshold.
 	failure          FailureConfig
 	trackActive      bool
 	timelineBucketMS float64
+	admission        AdmissionConfig
 }
 
 // cluster wires shared storage and N nodes into one simulation kernel.
@@ -207,6 +247,7 @@ type cluster struct {
 	// Lifecycle / recovery (phase.go, recovery.go).
 	failure     FailureConfig
 	trackActive bool
+	admission   AdmissionConfig
 	rr          int // round-robin cursor of the arrival rerouter
 
 	// Commit-timeline bucket width (availability runs); each node
@@ -229,6 +270,10 @@ func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, erro
 		failure:          opts.failure,
 		trackActive:      opts.trackActive,
 		timelineBucketMS: opts.timelineBucketMS,
+		admission:        opts.admission,
+	}
+	if c.admission.QueueFactor == 0 {
+		c.admission.QueueFactor = DefaultAdmissionQueueFactor
 	}
 
 	unitRnd := rng.NewStream(seed, "disk-units")
@@ -308,6 +353,17 @@ func (c *cluster) reroute() *node {
 	return nil
 }
 
+// shedReroute is the admission-control rule: a rerouted arrival aimed at
+// target is shed when the controller is enabled and target's input queue
+// already holds QueueFactor × MPL waiting transactions. Arrivals a running
+// node receives for itself are never shed — only rerouted overflow is.
+func (c *cluster) shedReroute(target *node) bool {
+	if !c.admission.Enabled {
+		return false
+	}
+	return float64(target.mpl.QueueLen()) >= c.admission.QueueFactor*float64(target.cfg.MPL)
+}
+
 // timelineBuckets is the padded timeline length: the full window
 // including a trailing partial bucket, so every run of one configuration
 // reports the same number of buckets regardless of where its last
@@ -368,6 +424,24 @@ func (c *cluster) attachShared(res *Result) {
 	}
 }
 
+// survivorRespMean is the commit-weighted mean response time over every
+// node except the crashed one — the metric the admission controller is
+// judged on: did shedding rerouted overflow keep the survivors responsive?
+func survivorRespMean(nodes []*Result, crashed int) float64 {
+	var w, sum float64
+	for i, r := range nodes {
+		if i == crashed {
+			continue
+		}
+		w += float64(r.Commits)
+		sum += float64(r.Commits) * r.RespMean
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
 // aggregate folds per-node window metrics into the cluster-wide result:
 // counters sum, time metrics are commit-weighted means, utilization is
 // CPU-weighted, and hit ratios are recomputed from the summed counters.
@@ -382,6 +456,7 @@ func (c *cluster) aggregate(nodes []*Result) *Result {
 		agg.Commits += r.Commits
 		agg.Aborts += r.Aborts
 		agg.Dropped += r.Dropped
+		agg.Shed += r.Shed
 		agg.Throughput += r.Throughput
 		agg.LockMsgs += r.LockMsgs
 		agg.Saturated = agg.Saturated || r.Saturated

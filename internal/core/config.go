@@ -46,6 +46,11 @@ type Config struct {
 	// --- workload ---
 	Partitions []workload.Partition
 	Generator  workload.Generator
+	// Arrival selects the arrival process driving every transaction-type
+	// stream (Poisson, MMPP bursty, diurnal, spike). The zero value is the
+	// classic Poisson process of the paper's evaluation. Window-relative
+	// parameters (spike offsets) are anchored at the end of warm-up.
+	Arrival workload.ArrivalSpec
 
 	// --- run control ---
 	WarmupMS  float64 // simulated warm-up excluded from measurements
@@ -79,6 +84,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: WarmupMS = %v", c.WarmupMS)
 	case c.MaxQueue < 0:
 		return fmt.Errorf("core: MaxQueue = %v", c.MaxQueue)
+	}
+	if err := c.Arrival.Validate(); err != nil {
+		return err
 	}
 	names := make([]string, len(c.Partitions))
 	for i := range c.Partitions {

@@ -69,6 +69,7 @@ type node struct {
 	commits       int64
 	aborts        int64
 	dropped       int64
+	shed          int64
 	stopArrivals  bool
 	baseBuf       buffer.Stats
 	basePart      []buffer.PartitionStats
@@ -146,7 +147,9 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 
 	// Arrival processes, one per transaction type.
 	for i := 0; i < cfg.Generator.NumTypes(); i++ {
-		n.spawnArrivals(i)
+		if err := n.spawnArrivals(i); err != nil {
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -300,16 +303,22 @@ func (e *node) releaseLocks(txn cc.TxnID) {
 
 // --- workload arrival and transaction execution ---
 
-func (e *node) spawnArrivals(typeIdx int) {
+func (e *node) spawnArrivals(typeIdx int) error {
 	_, rate := e.cfg.Generator.TypeInfo(typeIdx)
 	if rate <= 0 {
-		return
+		return nil
 	}
-	meanInterarrival := 1000.0 / rate // ms
+	// One arrival-process instance per stream (processes carry state, e.g.
+	// the MMPP state machine). Window-relative spec parameters are anchored
+	// at the end of warm-up, the same clock FailureConfig.CrashAtMS uses.
+	proc, err := e.cfg.Arrival.NewProcess(rate, e.cfg.WarmupMS)
+	if err != nil {
+		return err
+	}
 	e.s.Spawn(fmt.Sprintf("arrivals-%d", typeIdx), 0, func(p *sim.Process) {
 		// arrive is the one closure the whole arrival stream reuses: each
-		// firing admits a transaction and schedules itself after the next
-		// exponential interarrival gap.
+		// firing admits a transaction and schedules itself after the gap
+		// the arrival process draws.
 		var arrive func()
 		arrive = func() {
 			if e.stopArrivals {
@@ -321,13 +330,21 @@ func (e *node) spawnArrivals(typeIdx int) {
 				// surviving node (clients reconnect); with nobody running
 				// the arrival is lost — the cluster is unavailable.
 				target := e
+				rerouted := false
 				if e.phase != nodeRunning {
 					target = e.c.reroute()
+					rerouted = true
 				}
 				switch {
 				case target == nil:
 					if e.warm {
 						e.dropped++
+					}
+				case rerouted && e.c.shedReroute(target):
+					// The admission controller sheds rerouted overflow
+					// instead of queueing it behind the survivor's backlog.
+					if e.warm {
+						e.shed++
 					}
 				case target.mpl.QueueLen() >= target.cfg.MaxQueue:
 					// Dropped arrivals count only inside the measurement
@@ -339,10 +356,11 @@ func (e *node) spawnArrivals(typeIdx int) {
 					e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
 				}
 			}
-			p.Hold(e.arrRnd.Exp(meanInterarrival), arrive)
+			p.Hold(proc.NextGapMS(p.Now(), e.arrRnd), arrive)
 		}
-		p.Hold(e.arrRnd.Exp(meanInterarrival), arrive)
+		p.Hold(proc.NextGapMS(p.Now(), e.arrRnd), arrive)
 	})
+	return nil
 }
 
 // txState names the continuation a txRun resumes into when its pending
@@ -620,6 +638,7 @@ func (e *node) collect() *Result {
 		Commits: e.commits,
 		Aborts:  e.aborts,
 		Dropped: e.dropped,
+		Shed:    e.shed,
 	}
 	for i := 0; i < e.cfg.Generator.NumTypes(); i++ {
 		_, rate := e.cfg.Generator.TypeInfo(i)

@@ -37,6 +37,7 @@ type Result struct {
 	Commits    int64   // transactions committed in the window
 	Aborts     int64   // deadlock aborts in the window (restarts)
 	Dropped    int64   // arrivals dropped at the input-queue cap
+	Shed       int64   // rerouted arrivals shed by the admission controller
 	Saturated  bool    // input queue hit its cap: offered load unsustainable
 
 	// Primary metrics (section 4: response time is the headline metric).
@@ -64,6 +65,11 @@ type Result struct {
 	LockMsgs      int64 // messages to the global lock manager (window)
 	Invalidations int64 // MM copies invalidated by remote writers (window; aggregate only)
 	DirtyHandoffs int64 // invalidations that handed off a dirty copy (window; aggregate only)
+
+	// SurvivorRespMean is the commit-weighted mean response time over the
+	// non-crashed nodes (set on the cluster aggregate of a
+	// failure-injection run) — the admission controller's target metric.
+	SurvivorRespMean float64
 
 	// Crash recovery (nil/empty without failure injection or restart
 	// measurement).
@@ -107,6 +113,10 @@ func (r *Result) Report() string {
 		fmt.Fprintf(&b, "unit %-12s %-14s reads=%d writes=%d rHits=%d wHits=%d destages=%d disk=%.1f%% ctrl=%.1f%%\n",
 			u.Name, u.Type, u.Stats.Reads, u.Stats.Writes, u.Stats.ReadHits,
 			u.Stats.WriteHits, u.Stats.Destages, 100*u.DiskUtilization, 100*u.CtrlUtilization)
+	}
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, "admission control: %d rerouted arrivals shed (survivor resp %.2f ms)\n",
+			r.Shed, r.SurvivorRespMean)
 	}
 	if r.LockMsgs > 0 {
 		fmt.Fprintf(&b, "global lock msgs:  %d\n", r.LockMsgs)

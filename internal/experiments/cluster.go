@@ -38,6 +38,12 @@ type ClusterSetup struct {
 	CrashNode        int
 	RebootMS         float64
 	TimelineBucketMS float64 // record cluster commits per bucket
+
+	// Workload-realism knobs (the workload.* experiments): the arrival
+	// process every node's streams draw from, and the recovery-aware
+	// admission controller on the rerouter.
+	Arrival   workload.ArrivalSpec
+	Admission core.AdmissionConfig
 }
 
 // Build assembles the cluster configuration.
@@ -53,6 +59,7 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 	base := core.Defaults()
 	base.Seed = o.seed()
 	base.WarmupMS, base.MeasureMS = o.windows()
+	base.Arrival = s.Arrival
 
 	gens := make([]workload.Generator, s.Nodes)
 	if s.Contention {
@@ -126,6 +133,7 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 		SharedNVEMCache:  s.SharedNVEM > 0,
 		GlobalLocks:      s.GlobalLocks,
 		TimelineBucketMS: s.TimelineBucketMS,
+		Admission:        s.Admission,
 	}
 	if s.CrashAtMS > 0 {
 		cfg.Failure = core.FailureConfig{

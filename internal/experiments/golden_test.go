@@ -41,7 +41,7 @@ func TestGoldenOutputs(t *testing.T) {
 		"fig4.8":                     {"disk:page-locks", "nvem:page-locks"},
 		"table4.2a":                  {"main memory", "NVEM cache 500"},
 		"table4.2b":                  {"main memory", "FORCE"},
-		"table2.1":                   {"extended memory", "measured response"},
+		"table2.1":                   {"extended memory", "measured response", "break-even-crashes"},
 		"ablation.group-commit":      {"group-commit"},
 		"ablation.async-replacement": {"async-replacement"},
 		"ablation.migration-modes":   {"nvem-add-hit-pct"},
@@ -51,6 +51,9 @@ func TestGoldenOutputs(t *testing.T) {
 		"recovery.checkpoint":        {"log-disk", "log-nvem", "restart time"},
 		"recovery.availability":      {"shared-nvem", "private-nvem", "Restart breakdown", "restart-ms"},
 		"cluster.scaleout":           {"shared-nvem", "disk-only", "shared-nvem:nvem"},
+		"workload.burstiness":        {"disk", "log-nvem", "db+log-nvem", "burst-state rate multiplier"},
+		"workload.spike-crash":       {"admission-off", "admission-on", "survivor-resp-ms", "shed"},
+		"workload.diurnal":           {"log-single-disk", "log-nvem", "amplitude"},
 		"cluster.allocation":         {"shared-nvem-cache", "private-nvem-caches", "disk-only"},
 		"cluster.locking":            {"local:page-locks", "global:object-locks", "messages per committed tx"},
 	}

@@ -199,6 +199,7 @@ func sweepFigure(o Options, fig *stats.Figure, labels []string,
 // Shared metric extractors.
 
 func respMean(r *core.Result) float64      { return r.RespMean }
+func respP95(r *core.Result) float64       { return r.RespP95 }
 func throughput(r *core.Result) float64    { return r.Throughput }
 func mmHitPct(r *core.Result) float64      { return r.MMHitPct }
 func nvemAddHitPct(r *core.Result) float64 { return r.NVEMAddHitPct }

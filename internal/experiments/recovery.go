@@ -226,6 +226,50 @@ func bucketMetric(timeline func(*core.Result) []int64, b int) func(*core.Result)
 	}
 }
 
+// The recovery.availability scenario, shared with table2.1's downtime-cost
+// analysis so the two stay in lockstep: node 0 of a 4-node cluster at 400
+// TPS aggregate crashes 3 s into the window and recovers after a 500 ms
+// reboot plus device-dependent redo.
+const (
+	availNodes     = 4
+	availRate      = 400.0
+	availCrashAtMS = 3_000.0
+	availRebootMS  = 500.0
+	// Not a divisor of the crash instant in either window setting, so the
+	// crash never lands exactly on a checkpoint (which would leave zero
+	// redo pages).
+	availCkptMS = 2_600.0
+)
+
+// availScheme is one storage scheme of the availability scenario.
+type availScheme struct {
+	label           string
+	shared, private int
+}
+
+// availSchemes returns the storage schemes the scenario compares; the
+// "disk-only" entry is the baseline the NVEM premiums are judged against.
+func availSchemes() []availScheme {
+	return []availScheme{
+		{"shared-nvem", 2000, 0},
+		{"private-nvem", 0, 2000 / availNodes},
+		{"disk-only", 0, 0},
+	}
+}
+
+// availSetup assembles the scenario for one scheme; timelineBucketMS > 0
+// additionally records the commit timelines.
+func availSetup(sc availScheme, timelineBucketMS float64) ClusterSetup {
+	return ClusterSetup{
+		Nodes: availNodes, AggregateRate: availRate,
+		SharedNVEM: sc.shared, PrivateNVEM: sc.private,
+		GlobalLocks:  true,
+		CheckpointMS: availCkptMS,
+		CrashAtMS:    availCrashAtMS, CrashNode: 0, RebootMS: availRebootMS,
+		TimelineBucketMS: timelineBucketMS,
+	}
+}
+
 // RecoveryAvailability crashes node 0 of a 4-node data-sharing cluster
 // mid-window and charts two commit timelines per storage scheme: the
 // cluster-wide one (the survivors absorb the rerouted arrivals, so it
@@ -235,13 +279,7 @@ func bucketMetric(timeline func(*core.Result) []int64, b int) func(*core.Result)
 // extended memory and restart quickly; the disk-only scheme pays a
 // device-speed log scan and redo on top of the same reboot.
 func RecoveryAvailability(o Options) (*stats.Figure, *stats.Table, error) {
-	const (
-		nodes     = 4
-		rate      = 400
-		bucketMS  = 1_000.0
-		crashAtMS = 3_000.0
-		rebootMS  = 500.0
-	)
+	const bucketMS = 1_000.0
 	_, measure := o.windows()
 	buckets := int(measure / bucketMS)
 	x := make([]float64, buckets)
@@ -249,21 +287,13 @@ func RecoveryAvailability(o Options) (*stats.Figure, *stats.Table, error) {
 		x[i] = float64(i)
 	}
 	fig := &stats.Figure{
-		Title: fmt.Sprintf("Cluster availability: node 0 of %d crashes at +%.0f s (Debit-Credit %d TPS aggregate)",
-			nodes, crashAtMS/1000, rate),
+		Title: fmt.Sprintf("Cluster availability: node 0 of %d crashes at +%.0f s (Debit-Credit %.0f TPS aggregate)",
+			availNodes, availCrashAtMS/1000, availRate),
 		XLabel: "window second",
 		YLabel: "commits per second",
 		X:      x,
 	}
-	type scheme struct {
-		label           string
-		shared, private int
-	}
-	schemes := []scheme{
-		{"shared-nvem", 2000, 0},
-		{"private-nvem", 0, 2000 / nodes},
-		{"disk-only", 0, 0},
-	}
+	schemes := availSchemes()
 	labels := make([]string, len(schemes))
 	for i, sc := range schemes {
 		labels[i] = sc.label
@@ -274,17 +304,7 @@ func RecoveryAvailability(o Options) (*stats.Figure, *stats.Table, error) {
 	g := newGrid(o, len(schemes), 1)
 	for si, sc := range schemes {
 		g.add(si, 0, func(o Options) (*core.Result, error) {
-			res, err := ClusterSetup{
-				Nodes: nodes, AggregateRate: rate,
-				SharedNVEM: sc.shared, PrivateNVEM: sc.private,
-				GlobalLocks: true,
-				// Not a divisor of the crash instant in either window
-				// setting, so the crash never lands exactly on a
-				// checkpoint (which would leave zero redo pages).
-				CheckpointMS: 2_600,
-				CrashAtMS:    crashAtMS, CrashNode: 0, RebootMS: rebootMS,
-				TimelineBucketMS: bucketMS,
-			}.Run(o)
+			res, err := availSetup(sc, bucketMS).Run(o)
 			if err != nil {
 				return nil, fmt.Errorf("recovery.availability %s: %w", sc.label, err)
 			}

@@ -209,6 +209,39 @@ func All() []Experiment {
 			},
 		},
 		{
+			Name:  "workload.burstiness",
+			Title: "Response time vs. MMPP burst coefficient at fixed mean TPS",
+			Run: func(o Options) (string, error) {
+				resp, p95, err := WorkloadBurstiness(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + p95.Render(), nil
+			},
+		},
+		{
+			Name:  "workload.spike-crash",
+			Title: "Crash-coincident load spike: recovery-aware admission control on vs. off",
+			Run: func(o Options) (string, error) {
+				fig, tbl, err := WorkloadSpikeCrash(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render() + "\n" + tbl.Render(), nil
+			},
+		},
+		{
+			Name:  "workload.diurnal",
+			Title: "Diurnal (sinusoidal) rate modulation over a long window",
+			Run: func(o Options) (string, error) {
+				resp, p95, err := WorkloadDiurnal(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + p95.Render(), nil
+			},
+		},
+		{
 			Name:  "cluster.scaleout",
 			Title: "Multi-node scale-out at fixed aggregate load (shared NVEM vs. disk-only)",
 			Run: func(o Options) (string, error) {

@@ -105,6 +105,13 @@ type DCSetup struct {
 	MMBuffer int
 	DB       DBSpec
 	Log      LogSpec
+	// Arrival selects the arrival process driving the load (the zero
+	// value is the paper's Poisson process).
+	Arrival workload.ArrivalSpec
+	// MeasureScale scales the measurement window by the given factor
+	// (the diurnal experiment needs several modulation periods inside the
+	// window); 0 keeps the standard o.windows() length.
+	MeasureScale float64
 }
 
 // Build assembles the engine configuration for the setup.
@@ -116,6 +123,10 @@ func (s DCSetup) Build(o Options) (core.Config, error) {
 	cfg := core.Defaults()
 	cfg.Seed = o.seed()
 	cfg.WarmupMS, cfg.MeasureMS = o.windows()
+	if s.MeasureScale > 0 {
+		cfg.MeasureMS *= s.MeasureScale
+	}
+	cfg.Arrival = s.Arrival
 	cfg.Partitions = gen.Partitions()
 	cfg.Generator = gen
 	cfg.CCModes = []cc.Granularity{cc.PageLevel, cc.PageLevel, cc.NoCC}

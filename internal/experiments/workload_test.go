@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdmissionReducesSurvivorResponse pins the admission controller's
+// reason to exist: in the spike-crash scenario, shedding rerouted overflow
+// at the survivor-capacity threshold must (a) actually shed something and
+// (b) leave the survivors with a lower mean response time than queueing
+// everything.
+func TestAdmissionReducesSurvivorResponse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	run := func(admission bool) (survivorResp float64, shed int64) {
+		t.Helper()
+		res, err := spikeCrashSetup(admission).Run(quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SurvivorRespMean, res.Shed
+	}
+	offResp, offShed := run(false)
+	onResp, onShed := run(true)
+	if offShed != 0 {
+		t.Errorf("admission-off shed %d arrivals, want 0", offShed)
+	}
+	if onShed == 0 {
+		t.Error("admission-on shed nothing: the spike never hit the survivor-capacity threshold")
+	}
+	if onResp >= offResp {
+		t.Errorf("admission-on survivor response %.2f ms >= admission-off %.2f ms; shedding bought nothing",
+			onResp, offResp)
+	}
+	if offResp == 0 || onResp == 0 {
+		t.Errorf("survivor response not populated: off=%v on=%v", offResp, onResp)
+	}
+}
+
+// TestWorkloadExperimentsDeterministicAcrossParallelism re-checks the
+// registry-wide determinism gate specifically for the arrival-process
+// experiments (stateful MMPP/spike processes must not leak scheduling
+// order into the output).
+func TestWorkloadExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	exps, err := Match(`workload\..*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("expected 3 workload experiments, got %d", len(exps))
+	}
+	serial := Options{Quick: true, Seed: 11, Parallelism: 1}
+	parallel := Options{Quick: true, Seed: 11, Parallelism: wideParallelism()}
+	for _, e := range exps {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := e.Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := e.Run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("output differs between worker counts:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestBurstinessMonotoneAtModerateFactors pins the burstiness experiment's
+// qualitative claim in the pre-saturation regime: at a fixed mean rate,
+// response time does not improve when bursts concentrate the same load
+// (burst factor 1 → 4, quick sweep).
+func TestBurstinessMonotoneAtModerateFactors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	base, err := DCSetup{Rate: 200, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogDisk},
+		Arrival: burstSpec(1)}.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := DCSetup{Rate: 200, DB: DBSpec{Kind: DBRegular}, Log: LogSpec{Kind: LogDisk},
+		Arrival: burstSpec(4)}.Run(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.RespP95 <= base.RespP95 {
+		t.Errorf("p95 at burst factor 4 (%.2f ms) <= factor 1 (%.2f ms)", bursty.RespP95, base.RespP95)
+	}
+}
+
+// TestWorkloadSpikeCrashOutput sanity-checks the rendered experiment.
+func TestWorkloadSpikeCrashOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	fig, tbl, err := WorkloadSpikeCrash(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fig.Render() + tbl.Render()
+	for _, frag := range []string{"admission-on:cluster", "admission-off:node0", "survivor-resp-ms"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("spike-crash output missing %q:\n%s", frag, out)
+		}
+	}
+}

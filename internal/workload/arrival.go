@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// This file is the pluggable arrival-process layer: the engine no longer
+// hardcodes exponential interarrivals but asks an ArrivalProcess for every
+// gap. One process instance serves one arrival stream (one node × one
+// transaction type), so implementations may carry state (the MMPP state
+// machine does). All randomness comes from the stream the engine passes in,
+// which is what keeps runs byte-identical across worker counts.
+
+// ArrivalProcess generates the interarrival gaps of one arrival stream.
+type ArrivalProcess interface {
+	// NextGapMS returns the gap (milliseconds) between the arrival at
+	// simulated time now and the next one, drawing randomness from s.
+	NextGapMS(now float64, s *rng.Stream) float64
+}
+
+// ArrivalKind selects the arrival-process family of an ArrivalSpec.
+type ArrivalKind int
+
+// Arrival-process families.
+const (
+	// ArrivalPoisson is the classic time-homogeneous Poisson process of
+	// the paper's evaluation (exponential interarrivals at a fixed rate).
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalMMPP is a two-state Markov-modulated Poisson process: a base
+	// state and a burst state with a higher rate, with exponentially
+	// distributed sojourn times, parameterized so the long-run mean rate
+	// equals the configured rate.
+	ArrivalMMPP
+	// ArrivalDiurnal modulates the rate sinusoidally around the mean —
+	// the compressed day/night load cycle.
+	ArrivalDiurnal
+	// ArrivalSpike multiplies the rate inside one scheduled window,
+	// alignable with a cluster failure injection so the spike lands
+	// mid-recovery.
+	ArrivalSpike
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalMMPP:
+		return "mmpp"
+	case ArrivalDiurnal:
+		return "diurnal"
+	case ArrivalSpike:
+		return "spike"
+	default:
+		return fmt.Sprintf("ArrivalKind(%d)", int(k))
+	}
+}
+
+// DefaultBurstMeanMS is the mean burst-state sojourn when an MMPP spec
+// leaves BurstMeanMS zero.
+const DefaultBurstMeanMS = 500.0
+
+// ArrivalSpec describes an arrival process independently of the rate: the
+// engine instantiates one process per arrival stream from the spec and the
+// stream's configured mean rate. The zero value is the plain Poisson
+// process, so existing configurations are untouched.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+
+	// MMPP (Kind == ArrivalMMPP). The burst state runs at BurstFactor ×
+	// the mean rate and covers BurstFrac of the time in the long run; the
+	// base-state rate is derived so the overall mean rate is preserved,
+	// which requires BurstFactor·BurstFrac < 1. BurstMeanMS is the mean
+	// burst sojourn (0 → DefaultBurstMeanMS); the base-state sojourn
+	// follows from BurstFrac.
+	BurstFactor float64
+	BurstFrac   float64
+	BurstMeanMS float64
+
+	// Diurnal (Kind == ArrivalDiurnal): rate(t) = mean · (1 + Amplitude ·
+	// sin(2π·(t-origin)/PeriodMS + PhaseRad)). Amplitude must stay below 1
+	// so the rate never reaches zero.
+	Amplitude float64
+	PeriodMS  float64
+	PhaseRad  float64
+
+	// Spike (Kind == ArrivalSpike): the rate is multiplied by SpikeFactor
+	// over [SpikeAtMS, SpikeAtMS+SpikeDurMS), both offsets into the
+	// measurement window (the same clock FailureConfig.CrashAtMS uses, so
+	// a spike is trivially aligned with a crash).
+	SpikeFactor float64
+	SpikeAtMS   float64
+	SpikeDurMS  float64
+}
+
+// Validate checks the spec's parameters for its kind.
+func (a *ArrivalSpec) Validate() error {
+	switch a.Kind {
+	case ArrivalPoisson:
+		return nil
+	case ArrivalMMPP:
+		switch {
+		case a.BurstFactor < 1:
+			return fmt.Errorf("workload: MMPP BurstFactor = %v, want >= 1", a.BurstFactor)
+		case a.BurstFrac <= 0 || a.BurstFrac >= 1:
+			return fmt.Errorf("workload: MMPP BurstFrac = %v, want in (0, 1)", a.BurstFrac)
+		case a.BurstFactor*a.BurstFrac >= 1:
+			return fmt.Errorf("workload: MMPP BurstFactor·BurstFrac = %v, want < 1 (base rate would be negative)",
+				a.BurstFactor*a.BurstFrac)
+		case a.BurstMeanMS < 0:
+			return fmt.Errorf("workload: MMPP BurstMeanMS = %v", a.BurstMeanMS)
+		}
+		return nil
+	case ArrivalDiurnal:
+		switch {
+		case a.Amplitude < 0 || a.Amplitude >= 1:
+			return fmt.Errorf("workload: diurnal Amplitude = %v, want in [0, 1)", a.Amplitude)
+		case a.PeriodMS <= 0:
+			return fmt.Errorf("workload: diurnal PeriodMS = %v", a.PeriodMS)
+		}
+		return nil
+	case ArrivalSpike:
+		switch {
+		case a.SpikeFactor <= 0:
+			return fmt.Errorf("workload: spike SpikeFactor = %v", a.SpikeFactor)
+		case a.SpikeAtMS < 0:
+			return fmt.Errorf("workload: spike SpikeAtMS = %v", a.SpikeAtMS)
+		case a.SpikeDurMS <= 0:
+			return fmt.Errorf("workload: spike SpikeDurMS = %v", a.SpikeDurMS)
+		}
+		return nil
+	default:
+		return fmt.Errorf("workload: unknown arrival kind %d", int(a.Kind))
+	}
+}
+
+// NewProcess instantiates the spec for one arrival stream. rate is the
+// stream's mean arrival rate in transactions per second; originMS anchors
+// the window-relative parameters (spike offsets, diurnal phase) — the
+// engine passes the warmup length so "SpikeAtMS into the measurement
+// window" lands at the right simulated instant.
+func (a *ArrivalSpec) NewProcess(rate, originMS float64) (ArrivalProcess, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate = %v", rate)
+	}
+	meanGap := 1000.0 / rate
+	switch a.Kind {
+	case ArrivalPoisson:
+		return &Poisson{MeanGapMS: meanGap}, nil
+	case ArrivalMMPP:
+		burstMean := a.BurstMeanMS
+		if burstMean == 0 {
+			burstMean = DefaultBurstMeanMS
+		}
+		f := a.BurstFrac
+		burstRate := a.BurstFactor * rate
+		baseRate := rate * (1 - f*a.BurstFactor) / (1 - f)
+		return &MMPP{
+			BaseGapMS:   1000.0 / baseRate,
+			BurstGapMS:  1000.0 / burstRate,
+			BaseMeanMS:  burstMean * (1 - f) / f,
+			BurstMeanMS: burstMean,
+		}, nil
+	case ArrivalDiurnal:
+		return &Diurnal{
+			MeanGapMS: meanGap,
+			Amplitude: a.Amplitude,
+			PeriodMS:  a.PeriodMS,
+			PhaseRad:  a.PhaseRad,
+			OriginMS:  originMS,
+		}, nil
+	default: // ArrivalSpike
+		return &Spike{
+			MeanGapMS: meanGap,
+			Factor:    a.SpikeFactor,
+			StartMS:   originMS + a.SpikeAtMS,
+			EndMS:     originMS + a.SpikeAtMS + a.SpikeDurMS,
+		}, nil
+	}
+}
+
+// Poisson draws exponential interarrivals at a fixed rate — the default
+// process and the one the paper's evaluation uses throughout. It performs
+// exactly one exponential draw per arrival, which keeps runs byte-identical
+// with the pre-refactor engine.
+type Poisson struct {
+	MeanGapMS float64
+}
+
+// NextGapMS implements ArrivalProcess.
+func (p *Poisson) NextGapMS(_ float64, s *rng.Stream) float64 {
+	return s.Exp(p.MeanGapMS)
+}
+
+// MMPP is a two-state Markov-modulated Poisson process: interarrivals are
+// exponential at the current state's rate, and the state (base/burst)
+// switches after exponentially distributed sojourns. Gaps are generated
+// exactly by competing clocks: a candidate gap is drawn at the current
+// state's rate, and if the state switches first, time advances to the
+// switch and the remainder is redrawn at the new state's rate — which by
+// memorylessness reproduces the true MMPP, with no bias at any burst
+// factor. Every arrival lands strictly before switchAt, so the process
+// maintains now < switchAt between calls.
+type MMPP struct {
+	BaseGapMS   float64 // mean interarrival gap in the base state
+	BurstGapMS  float64 // mean interarrival gap in the burst state
+	BaseMeanMS  float64 // mean base-state sojourn
+	BurstMeanMS float64 // mean burst-state sojourn
+
+	inBurst  bool
+	switchAt float64
+	started  bool
+}
+
+// NextGapMS implements ArrivalProcess.
+func (m *MMPP) NextGapMS(now float64, s *rng.Stream) float64 {
+	if !m.started {
+		m.started = true
+		m.switchAt = now + s.Exp(m.BaseMeanMS)
+	}
+	t := now
+	for {
+		gap := m.BaseGapMS
+		if m.inBurst {
+			gap = m.BurstGapMS
+		}
+		arriveAt := t + s.Exp(gap)
+		if arriveAt < m.switchAt {
+			return arriveAt - now
+		}
+		t = m.switchAt
+		m.inBurst = !m.inBurst
+		if m.inBurst {
+			m.switchAt += s.Exp(m.BurstMeanMS)
+		} else {
+			m.switchAt += s.Exp(m.BaseMeanMS)
+		}
+	}
+}
+
+// Diurnal modulates the arrival rate sinusoidally around the mean: a
+// compressed day/night cycle. Each gap is exponential at the rate holding
+// at the previous arrival (the standard slowly-varying approximation of an
+// inhomogeneous Poisson process; the sine averages out, so the long-run
+// mean rate is the configured one).
+type Diurnal struct {
+	MeanGapMS float64
+	Amplitude float64
+	PeriodMS  float64
+	PhaseRad  float64
+	OriginMS  float64
+}
+
+// NextGapMS implements ArrivalProcess.
+func (d *Diurnal) NextGapMS(now float64, s *rng.Stream) float64 {
+	mod := 1 + d.Amplitude*math.Sin(2*math.Pi*(now-d.OriginMS)/d.PeriodMS+d.PhaseRad)
+	return s.Exp(d.MeanGapMS / mod)
+}
+
+// Spike multiplies the rate inside one scheduled window (absolute simulated
+// milliseconds, precomputed from the window-relative spec) and is Poisson
+// at the mean rate outside it.
+type Spike struct {
+	MeanGapMS float64
+	Factor    float64
+	StartMS   float64
+	EndMS     float64
+}
+
+// NextGapMS implements ArrivalProcess.
+func (sp *Spike) NextGapMS(now float64, s *rng.Stream) float64 {
+	gap := sp.MeanGapMS
+	if now >= sp.StartMS && now < sp.EndMS {
+		gap /= sp.Factor
+	}
+	return s.Exp(gap)
+}

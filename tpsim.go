@@ -65,6 +65,9 @@ type (
 	FailureConfig = core.FailureConfig
 	// RestartReport describes a simulated crash and redo recovery.
 	RestartReport = core.RestartReport
+	// AdmissionConfig is the recovery-aware admission controller shedding
+	// rerouted arrivals above a survivor-capacity threshold.
+	AdmissionConfig = core.AdmissionConfig
 )
 
 // RunCluster executes one multi-node data-sharing simulation.
@@ -151,6 +154,25 @@ type (
 	Generator = workload.Generator
 	// DebitCreditConfig parameterizes the Debit-Credit generator.
 	DebitCreditConfig = workload.DebitCreditConfig
+)
+
+// Arrival processes (the pluggable interarrival layer).
+type (
+	// ArrivalProcess generates the interarrival gaps of one arrival stream.
+	ArrivalProcess = workload.ArrivalProcess
+	// ArrivalSpec describes an arrival process independently of the rate;
+	// the zero value is the classic Poisson process.
+	ArrivalSpec = workload.ArrivalSpec
+	// ArrivalKind selects the arrival-process family of an ArrivalSpec.
+	ArrivalKind = workload.ArrivalKind
+)
+
+// Arrival-process families.
+const (
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalMMPP    = workload.ArrivalMMPP
+	ArrivalDiurnal = workload.ArrivalDiurnal
+	ArrivalSpike   = workload.ArrivalSpike
 )
 
 // NewSynthetic builds the general synthetic workload generator.
