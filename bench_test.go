@@ -296,21 +296,29 @@ func BenchmarkRecoveryAvailability(b *testing.B) {
 // --- substrate micro-benchmarks ---
 
 // BenchmarkSimKernel measures raw event throughput of the DES kernel: one
-// Hold → continuation cycle per iteration.
+// Hold → continuation cycle per iteration. The continuation is bound and a
+// warmup chain run before the timer starts, so the timed region measures
+// pure pop/push cycles — zero allocations per operation even at
+// -benchtime=1x (closure construction and ring-slot capacity growth are
+// one-time setup costs, not per-event costs).
 func BenchmarkSimKernel(b *testing.B) {
 	b.ReportAllocs()
 	s := sim.New()
-	s.Spawn("ticker", 0, func(p *sim.Process) {
-		n := 0
-		var tick func()
-		tick = func() {
-			if n < b.N {
-				n++
-				p.Hold(1, tick)
-			}
+	var p *sim.Process
+	n, limit := 0, 0
+	var tick func()
+	tick = func() {
+		if n < limit {
+			n++
+			p.Hold(1, tick)
 		}
-		tick()
-	})
+	}
+	p = s.Spawn("ticker", 0, func(*sim.Process) {})
+	limit = 256 // warm every calendar-ring slot's capacity
+	p.Hold(1, tick)
+	s.RunAll()
+	n, limit = 0, b.N
+	p.Hold(1, tick)
 	b.ResetTimer()
 	s.RunAll()
 }

@@ -55,6 +55,15 @@ type clusterConfig struct {
 	TimelineBucketMS float64          `json:"timelineBucketMS"`
 	Failure          *failureConfig   `json:"failure"`
 	Admission        *admissionConfig `json:"admission"`
+	PDES             *pdesConfig      `json:"pdes"`
+}
+
+// pdesConfig switches the cluster run to the conservative parallel engine
+// (per-node kernels and storage, lookahead barriers). workers caps the
+// kernel-executing goroutines (0 → all cores); results are identical for
+// every value.
+type pdesConfig struct {
+	Workers int `json:"workers"`
 }
 
 // admissionConfig enables the recovery-aware admission controller: while a
@@ -259,6 +268,12 @@ func (fc *fileConfig) assembleCluster() (tpsim.Config, *tpsim.ClusterConfig, err
 		ccfg.Admission = tpsim.AdmissionConfig{
 			Enabled:     true,
 			QueueFactor: cl.Admission.QueueFactor,
+		}
+	}
+	if cl.PDES != nil {
+		ccfg.PDES = tpsim.PDESConfig{
+			Enabled: true,
+			Workers: cl.PDES.Workers,
 		}
 	}
 	return base, ccfg, nil

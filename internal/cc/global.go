@@ -13,6 +13,11 @@ import "fmt"
 // messages); releasing a transaction's locks is one message (the response
 // is not waited for). Lock grants to queued waiters ride on the release
 // processing and are folded into the request pair.
+//
+// Threading: Global is not internally synchronized. The coupled cluster
+// engine calls it from its single kernel; the parallel (PDES) engine
+// calls it only at synchronization barriers, on the coordinator, while
+// every node kernel is quiescent — in both cases calls are serial.
 type Global struct {
 	m    *Manager
 	msgs []int64

@@ -133,6 +133,31 @@ func TestBoundaryStraddlingLockWaitClamped(t *testing.T) {
 	}
 }
 
+// TestTinyMaxQueueIdleNotSaturated pins the saturation threshold's
+// rounding: with MaxQueue = 1, plain integer division made the threshold
+// ⌊1/2⌋ = 0, so peakQueue >= 0 held vacuously and an entirely idle run
+// reported Saturated. The half-queue threshold must round up, keeping an
+// idle run with a tiny queue cap unsaturated.
+func TestTinyMaxQueueIdleNotSaturated(t *testing.T) {
+	gen := &scriptGen{rate: 100} // no scripted txs: the run stays idle
+	cfg := scriptConfig(gen)
+	cfg.MPL = 1
+	cfg.NumCPU = 1
+	cfg.MaxQueue = 1
+	cfg.WarmupMS = 1000
+	cfg.MeasureMS = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 || res.Commits != 0 {
+		t.Fatalf("idle run: Dropped=%d Commits=%d, want 0/0", res.Dropped, res.Commits)
+	}
+	if res.Saturated {
+		t.Fatal("Saturated set for an idle run with MaxQueue = 1")
+	}
+}
+
 // TestPeakQueueSaturation: sustained overload mid-window must flag
 // Saturated even when the queue happens to be drained at collection time.
 // A burst that saturates inside the window (but drains before its end)

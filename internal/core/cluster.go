@@ -99,6 +99,12 @@ type ClusterConfig struct {
 	// availability experiments read the throughput dip and ramp-back
 	// around a crash from it.
 	TimelineBucketMS float64
+
+	// PDES runs the cluster as a conservative parallel simulation: one
+	// kernel and private storage per node, cross-node events exchanged at
+	// LockMsgDelayMS lookahead barriers (pdes.go). Incompatible with
+	// SharedNVEMCache, whose coherence has zero lookahead.
+	PDES PDESConfig
 }
 
 // Validate checks the cluster description.
@@ -120,6 +126,12 @@ func (c *ClusterConfig) Validate() error {
 	}
 	if err := c.Admission.validate(); err != nil {
 		return err
+	}
+	if err := c.PDES.validate(); err != nil {
+		return err
+	}
+	if c.PDES.Enabled && c.SharedNVEMCache {
+		return fmt.Errorf("core: PDES cannot run a shared NVEM cache (zero-lookahead coherence)")
 	}
 	if c.TimelineBucketMS < 0 {
 		return fmt.Errorf("core: TimelineBucketMS = %v", c.TimelineBucketMS)
@@ -170,6 +182,16 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		trackActive:      cfg.Failure.Enabled,
 		timelineBucketMS: cfg.TimelineBucketMS,
 		admission:        cfg.Admission,
+		pdes:             cfg.PDES,
+	}
+	if cfg.PDES.Enabled {
+		// The barrier horizon is the lock-message latency even when global
+		// locking is off: it is the model's inter-node messaging latency,
+		// and invalidations and reroutes travel at the same speed.
+		opts.pdesLookahead = cfg.LockMsgDelayMS
+		if opts.pdesLookahead == 0 {
+			opts.pdesLookahead = DefaultLockMsgDelayMS
+		}
 	}
 	if cfg.GlobalLocks {
 		opts.globalLocks = true
@@ -219,11 +241,17 @@ type clusterOpts struct {
 	trackActive      bool
 	timelineBucketMS float64
 	admission        AdmissionConfig
+
+	// pdes switches the build to per-node kernels and storage;
+	// pdesLookahead is the resolved barrier horizon (ms).
+	pdes          PDESConfig
+	pdesLookahead float64
 }
 
-// cluster wires shared storage and N nodes into one simulation kernel.
+// cluster wires shared storage and N nodes into one simulation kernel —
+// or, under PDES, one kernel with private storage per node (pdes.go).
 type cluster struct {
-	s      *sim.Sim
+	s      *sim.Sim // coupled mode: the single shared kernel (nil under PDES)
 	units  []*storage.DiskUnit
 	nvem   *storage.NVEM
 	nodes  []*node
@@ -236,11 +264,7 @@ type cluster struct {
 
 	shared *buffer.SharedNVEMCache // non-nil: coherent shared NVEM cache
 
-	// Coherence counters (whole run; baselined at the warmup snapshot).
-	invalidations int64
-	dirtyHandoffs int64
-	baseInval     int64
-	baseHandoffs  int64
+	pdes *pdesState // non-nil: conservative parallel engine
 
 	warmup, measure float64
 
@@ -261,7 +285,6 @@ type cluster struct {
 func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, error) {
 	shared := nodeCfgs[0]
 	c := &cluster{
-		s:                sim.New(),
 		stride:           len(nodeCfgs),
 		instrLockMsg:     opts.instrLockMsg,
 		lockMsgDelay:     opts.lockMsgDelay,
@@ -276,24 +299,31 @@ func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, erro
 		c.admission.QueueFactor = DefaultAdmissionQueueFactor
 	}
 
-	unitRnd := rng.NewStream(seed, "disk-units")
-	for i := range shared.DiskUnits {
-		u, err := storage.NewDiskUnit(c.s, shared.DiskUnits[i], unitRnd)
-		if err != nil {
-			return nil, err
+	if opts.pdes.Enabled {
+		// Parallel build: no shared kernel and no shared storage — each
+		// node constructs its own devices in newNode.
+		c.pdes = newPDES(c, len(nodeCfgs), sim.Time(opts.pdesLookahead), opts.pdes.Workers)
+	} else {
+		c.s = sim.New()
+		unitRnd := rng.NewStream(seed, "disk-units")
+		for i := range shared.DiskUnits {
+			u, err := storage.NewDiskUnit(c.s, shared.DiskUnits[i], unitRnd)
+			if err != nil {
+				return nil, err
+			}
+			c.units = append(c.units, u)
 		}
-		c.units = append(c.units, u)
-	}
-	usesNVEM := false
-	for i := range nodeCfgs {
-		usesNVEM = usesNVEM || nodeCfgs[i].Buffer.UsesNVEM()
-	}
-	if usesNVEM {
-		nvem, err := storage.NewNVEM(c.s, shared.NVEMServers, shared.NVEMDelay)
-		if err != nil {
-			return nil, err
+		usesNVEM := false
+		for i := range nodeCfgs {
+			usesNVEM = usesNVEM || nodeCfgs[i].Buffer.UsesNVEM()
 		}
-		c.nvem = nvem
+		if usesNVEM {
+			nvem, err := storage.NewNVEM(c.s, shared.NVEMServers, shared.NVEMDelay)
+			if err != nil {
+				return nil, err
+			}
+			c.nvem = nvem
+		}
 	}
 	if opts.sharedNVEM {
 		sc, err := buffer.NewSharedNVEMCache(shared.Buffer.NVEMCacheSize)
@@ -320,9 +350,15 @@ func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, erro
 
 // invalidate drops every other node's copy of key before writer modifies
 // the page (write-invalidate coherence). Nodes are visited in id order for
-// determinism.
+// determinism. Under PDES the invalidation travels as a message and lands
+// on each peer one lookahead later; either way the node that held the page
+// counts the hand-off.
 func (c *cluster) invalidate(writer int, key storage.PageKey) {
 	if c.stride == 1 {
+		return
+	}
+	if c.pdes != nil {
+		c.pdes.sendInvalidate(c.nodes[writer], key)
 		return
 	}
 	for _, n := range c.nodes {
@@ -331,9 +367,9 @@ func (c *cluster) invalidate(writer int, key storage.PageKey) {
 		}
 		had, dirty := n.bm.Invalidate(key)
 		if had {
-			c.invalidations++
+			n.invalidations++
 			if dirty {
-				c.dirtyHandoffs++
+				n.dirtyHandoffs++
 			}
 		}
 	}
@@ -402,14 +438,51 @@ func (c *cluster) finish() {
 	for _, n := range c.nodes {
 		n.stopArrivals = true
 	}
+	if c.pdes != nil {
+		for _, k := range c.pdes.kernels {
+			k.Shutdown()
+		}
+		return
+	}
 	c.s.Shutdown()
 }
 
 // attachShared adds the shared-device reports (disk units, NVEM
 // utilization) to a result: the single node's result in a one-node run,
-// the aggregate in a cluster run.
+// the aggregate in a cluster run. Under PDES each node owns private
+// devices, so the report sums the per-node unit counters and averages the
+// utilizations (the nodes share one measurement window).
 func (c *cluster) attachShared(res *Result) {
 	cfg := c.nodes[0].cfg
+	if c.pdes != nil {
+		for i := range cfg.DiskUnits {
+			rep := UnitReport{
+				Name: cfg.DiskUnits[i].Name,
+				Type: cfg.DiskUnits[i].Type,
+			}
+			for _, n := range c.nodes {
+				u := n.units[i]
+				rep.Stats = addUnitStats(rep.Stats, u.Stats())
+				rep.DiskUtilization += u.DiskUtilization()
+				rep.CtrlUtilization += u.ControllerUtilization()
+			}
+			rep.DiskUtilization /= float64(len(c.nodes))
+			rep.CtrlUtilization /= float64(len(c.nodes))
+			res.Units = append(res.Units, rep)
+		}
+		var util float64
+		withNVEM := 0
+		for _, n := range c.nodes {
+			if n.nvem != nil {
+				util += n.nvem.Utilization()
+				withNVEM++
+			}
+		}
+		if withNVEM > 0 {
+			res.NVEMUtil = util / float64(withNVEM)
+		}
+		return
+	}
 	for i, u := range c.units {
 		res.Units = append(res.Units, UnitReport{
 			Name:            cfg.DiskUnits[i].Name,
@@ -422,6 +495,19 @@ func (c *cluster) attachShared(res *Result) {
 	if c.nvem != nil {
 		res.NVEMUtil = c.nvem.Utilization()
 	}
+}
+
+// addUnitStats sums two disk-unit counter snapshots field by field.
+func addUnitStats(a, b storage.DiskUnitStats) storage.DiskUnitStats {
+	a.Reads += b.Reads
+	a.Writes += b.Writes
+	a.ReadHits += b.ReadHits
+	a.WriteHits += b.WriteHits
+	a.CacheWrites += b.CacheWrites
+	a.SyncDiskWrites += b.SyncDiskWrites
+	a.Destages += b.Destages
+	a.DiskAccesses += b.DiskAccesses
+	return a
 }
 
 // survivorRespMean is the commit-weighted mean response time over every
@@ -449,7 +535,7 @@ func (c *cluster) aggregate(nodes []*Result) *Result {
 	agg := &Result{}
 	var commits float64
 	var cpuBusy, cpuCap float64
-	window := c.s.Now() - c.nodes[0].warmStartTime
+	window := c.nodes[0].s.Now() - c.nodes[0].warmStartTime
 	for i, r := range nodes {
 		n := c.nodes[i]
 		agg.OfferedTPS += r.OfferedTPS
@@ -505,7 +591,9 @@ func (c *cluster) aggregate(nodes []*Result) *Result {
 	if c.glocks != nil {
 		agg.Locks = c.glocks.Stats().Sub(c.baseGlobal)
 	}
-	agg.Invalidations = c.invalidations - c.baseInval
-	agg.DirtyHandoffs = c.dirtyHandoffs - c.baseHandoffs
+	for _, n := range c.nodes {
+		agg.Invalidations += n.invalidations - n.baseInval
+		agg.DirtyHandoffs += n.dirtyHandoffs - n.baseHandoffs
+	}
 	return agg
 }

@@ -32,6 +32,13 @@ type node struct {
 	locks   *cc.Manager // local lock manager; nil under global locking
 	waiting map[cc.TxnID]func()
 
+	// Coherence counters of pages this node surrendered to a remote
+	// writer (whole run; baselined at the warmup snapshot).
+	invalidations int64
+	dirtyHandoffs int64
+	baseInval     int64
+	baseHandoffs  int64
+
 	// Lifecycle (phase.go, recovery.go). active tracks in-flight
 	// transactions only when the cluster may crash a node (trackActive),
 	// so failure-free runs pay nothing on the transaction hot path.
@@ -102,7 +109,9 @@ func Run(cfg Config) (*Result, error) {
 
 // newNode wires one transaction system into the cluster's kernel. stream
 // names carry a node suffix only in multi-node runs, so single-node runs
-// draw the exact random sequences of the original engine.
+// draw the exact random sequences of the original engine. Under PDES the
+// node gets its own kernel and its own storage devices instead of the
+// cluster's shared ones.
 func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error) {
 	suffix := func(base string) string {
 		if numNodes == 1 {
@@ -129,14 +138,33 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 	if numNodes > 1 {
 		n.nameSuffix = fmt.Sprintf("/n%d", id)
 	}
-	n.cpu = c.s.NewResource(suffix("cpu"), cfg.NumCPU)
-	n.mpl = c.s.NewResource(suffix("mpl"), cfg.MPL)
+	if c.pdes != nil {
+		n.s = c.pdes.kernels[id]
+		unitRnd := rng.NewStream(seed, suffix("disk-units"))
+		n.units = nil
+		for i := range cfg.DiskUnits {
+			u, err := storage.NewDiskUnit(n.s, cfg.DiskUnits[i], unitRnd)
+			if err != nil {
+				return nil, err
+			}
+			n.units = append(n.units, u)
+		}
+		if cfg.Buffer.UsesNVEM() {
+			nvem, err := storage.NewNVEM(n.s, cfg.NVEMServers, cfg.NVEMDelay)
+			if err != nil {
+				return nil, err
+			}
+			n.nvem = nvem
+		}
+	}
+	n.cpu = n.s.NewResource(suffix("cpu"), cfg.NumCPU)
+	n.mpl = n.s.NewResource(suffix("mpl"), cfg.MPL)
 
 	names := make([]string, len(cfg.Partitions))
 	for i := range cfg.Partitions {
 		names[i] = cfg.Partitions[i].Name
 	}
-	bm, err := buffer.NewShared(cfg.Buffer, names, c.units, c.nvem, n, c.shared)
+	bm, err := buffer.NewShared(cfg.Buffer, names, n.units, n.nvem, n, c.shared)
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +253,13 @@ func (e *node) onLockGrant(txn cc.TxnID) {
 		return
 	}
 	delete(e.waiting, txn)
+	if pd := e.c.pdes; pd != nil && e.c.glocks != nil {
+		// Global grants fire while a release message is applied at a
+		// barrier; the waiter resumes at that message's arrival instant,
+		// which lies inside the window about to run.
+		e.s.Schedule(pd.msgTime-e.s.Now(), k)
+		return
+	}
 	e.s.Schedule(0, k)
 }
 
@@ -250,6 +285,13 @@ func (e *node) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k
 	g := cc.Granule{Partition: acc.Partition, ID: id}
 	if gl := e.c.glocks; gl != nil {
 		e.cpuBurst(p, e.c.instrLockMsg, func() {
+			if pd := e.c.pdes; pd != nil {
+				// The request crosses the node boundary as a PDES message;
+				// the verdict materializes one lookahead (= the round-trip
+				// latency) later, at the next barrier (pdes.go).
+				pd.sendLockReq(e, txn, g, mode, k)
+				return
+			}
 			p.Hold(e.c.lockMsgDelay, func() {
 				// A crash while the request message was in flight killed
 				// the transaction and purged it from the active table; the
@@ -292,9 +334,14 @@ func (e *node) onAcquired(p *sim.Process, txn cc.TxnID, res cc.Result, k func(ok
 }
 
 // releaseLocks releases the transaction's locks at the local or global
-// lock manager.
+// lock manager. Under PDES the global release is a one-way message: the
+// locks drop when it lands at the manager, one lookahead later.
 func (e *node) releaseLocks(txn cc.TxnID) {
 	if e.c.glocks != nil {
+		if pd := e.c.pdes; pd != nil {
+			pd.sendLockRelease(e, txn)
+			return
+		}
 		e.c.glocks.ReleaseAllFrom(e.id, txn)
 		return
 	}
@@ -326,41 +373,57 @@ func (e *node) spawnArrivals(typeIdx int) error {
 			}
 			tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
 			if len(tx.Accesses) > 0 {
-				// While this node is down its arrivals reroute to a
-				// surviving node (clients reconnect); with nobody running
-				// the arrival is lost — the cluster is unavailable.
-				target := e
-				rerouted := false
-				if e.phase != nodeRunning {
-					target = e.c.reroute()
-					rerouted = true
-				}
-				switch {
-				case target == nil:
-					if e.warm {
-						e.dropped++
-					}
-				case rerouted && e.c.shedReroute(target):
-					// The admission controller sheds rerouted overflow
-					// instead of queueing it behind the survivor's backlog.
-					if e.warm {
-						e.shed++
-					}
-				case target.mpl.QueueLen() >= target.cfg.MaxQueue:
-					// Dropped arrivals count only inside the measurement
-					// window, like commits and aborts.
-					if e.warm {
-						e.dropped++
-					}
-				default:
-					e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
-				}
+				e.admitArrival(tx)
 			}
 			p.Hold(proc.NextGapMS(p.Now(), e.arrRnd), arrive)
 		}
 		p.Hold(proc.NextGapMS(p.Now(), e.arrRnd), arrive)
 	})
 	return nil
+}
+
+// admitArrival routes one arrival: run it locally, or — while this node is
+// down — reroute it to a surviving node (clients reconnect); with nobody
+// running the arrival is lost, the cluster is unavailable.
+func (e *node) admitArrival(tx workload.Tx) {
+	if e.phase == nodeRunning {
+		// Dropped arrivals count only inside the measurement window,
+		// like commits and aborts.
+		if e.mpl.QueueLen() >= e.cfg.MaxQueue {
+			if e.warm {
+				e.dropped++
+			}
+			return
+		}
+		e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+		return
+	}
+	if pd := e.c.pdes; pd != nil {
+		// The reconnect decision reads cluster-wide state (survivor
+		// phases, queue lengths); under PDES it is taken at the next
+		// barrier, one message latency later.
+		pd.sendReroute(e, tx)
+		return
+	}
+	target := e.c.reroute()
+	switch {
+	case target == nil:
+		if e.warm {
+			e.dropped++
+		}
+	case e.c.shedReroute(target):
+		// The admission controller sheds rerouted overflow instead of
+		// queueing it behind the survivor's backlog.
+		if e.warm {
+			e.shed++
+		}
+	case target.mpl.QueueLen() >= target.cfg.MaxQueue:
+		if e.warm {
+			e.dropped++
+		}
+	default:
+		e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
+	}
 }
 
 // txState names the continuation a txRun resumes into when its pending
@@ -627,6 +690,8 @@ func (e *node) snapshot() {
 		e.baseLockMsgs = e.c.glocks.Messages(e.id)
 	}
 	e.baseCPUBusy = e.cpu.BusyIntegral()
+	e.baseInval = e.invalidations
+	e.baseHandoffs = e.dirtyHandoffs
 	e.mpl.ResetPeakQueueLen()
 }
 
@@ -659,12 +724,15 @@ func (e *node) collect() *Result {
 	// Saturation over the measured window: drops are window-only, and the
 	// peak queue length (not the instantaneous end-of-run length, which a
 	// single lucky drain can hide) marks sustained overload. A crash
-	// replaced the MPL resource, so the pre-crash peak rides along.
+	// replaced the MPL resource, so the pre-crash peak rides along. The
+	// half-MaxQueue threshold rounds up: plain integer division would make
+	// it 0 for MaxQueue <= 1, flagging such configs saturated even when
+	// the queue never forms.
 	peakQueue := e.mpl.PeakQueueLen()
 	if e.peakBeforeCrash > peakQueue {
 		peakQueue = e.peakBeforeCrash
 	}
-	res.Saturated = e.dropped > 0 || peakQueue >= e.cfg.MaxQueue/2
+	res.Saturated = e.dropped > 0 || peakQueue >= (e.cfg.MaxQueue+1)/2
 
 	res.Buffer = e.bm.Stats().Sub(e.baseBuf)
 	if e.locks != nil {

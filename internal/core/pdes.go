@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Conservative parallel discrete-event simulation of a cluster run.
+//
+// Each node becomes one logical process with its own kernel, disk units and
+// NVEM; the only interactions that cross node boundaries — global
+// lock-manager traffic, write-invalidate coherence and crash rerouting —
+// already pay at least the LockMsgDelayMS message latency in the model.
+// That latency is the lookahead: every kernel can safely run
+// [T, T+lookahead] without seeing its peers, because anything a peer sends
+// during that window arrives strictly after T+lookahead's window began. The
+// coordinator therefore alternates two steps: deliver all messages whose
+// arrival falls inside the next window (single-threaded, sorted by
+// (arrive, sender, sender-sequence) so the schedule is independent of the
+// worker count), then let every kernel run the window in parallel.
+//
+// Determinism contract: a PDES run's per-node Results are identical for
+// every Workers value, because cross-node state is only touched at
+// barriers, in sorted order, on the coordinator. PDES is not event-for-
+// event identical to the coupled single-kernel mode — the coupled mode
+// resolves lock verdicts and invalidations instantaneously at shared
+// state, which has zero lookahead by construction.
+
+// PDESConfig switches a cluster run to the conservative parallel engine.
+type PDESConfig struct {
+	Enabled bool
+	// Workers caps the kernel-executing goroutines (0 = GOMAXPROCS,
+	// further capped by the node count). Results are identical for every
+	// value; 1 runs the windows inline.
+	Workers int
+}
+
+// validate checks the parallel-engine description.
+func (p *PDESConfig) validate() error {
+	if p.Workers < 0 {
+		return fmt.Errorf("core: PDES Workers = %d", p.Workers)
+	}
+	return nil
+}
+
+// pdesMsgKind tags one cross-node message.
+type pdesMsgKind uint8
+
+const (
+	pdesLockReq pdesMsgKind = iota
+	pdesLockRelease
+	pdesInvalidate
+	pdesReroute
+)
+
+// pdesMsg is one cross-node event in flight: sent by node from's logical
+// process during a window, applied by the coordinator at the barrier
+// preceding the window its arrival time falls into. seq is a per-sender
+// sequence number; (arrive, from, seq) totally orders every batch.
+type pdesMsg struct {
+	kind   pdesMsgKind
+	from   int
+	seq    uint64
+	arrive sim.Time
+
+	// Lock traffic.
+	txn  cc.TxnID
+	g    cc.Granule
+	mode cc.Mode
+	k    func(bool)
+
+	// Coherence.
+	key storage.PageKey
+
+	// Rerouted arrival.
+	tx workload.Tx
+}
+
+// pdesState is the coordinator of a parallel cluster run: the per-node
+// kernels, the in-flight messages and the worker pool.
+type pdesState struct {
+	c         *cluster
+	kernels   []*sim.Sim
+	lookahead sim.Time
+	workers   int
+
+	// outboxes[i] collects node i's messages during a window; only node
+	// i's logical process appends, so windows need no message locking.
+	outboxes [][]pdesMsg
+	seqs     []uint64
+	inbox    []pdesMsg // reusable merge buffer, coordinator-only
+
+	// msgTime is the arrival instant of the message currently being
+	// applied at a barrier. Grant callbacks fired by the global lock
+	// manager during a release read it to timestamp the wakeup.
+	msgTime sim.Time
+
+	start []chan sim.Time
+	wg    sync.WaitGroup
+}
+
+// newPDES builds the per-node kernels and (for Workers > 1) the persistent
+// worker pool. lookahead must be positive — it is the resolved
+// LockMsgDelayMS of the cluster.
+func newPDES(c *cluster, numNodes int, lookahead sim.Time, workers int) *pdesState {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numNodes {
+		workers = numNodes
+	}
+	pd := &pdesState{
+		c:         c,
+		lookahead: lookahead,
+		workers:   workers,
+		kernels:   make([]*sim.Sim, numNodes),
+		outboxes:  make([][]pdesMsg, numNodes),
+		seqs:      make([]uint64, numNodes),
+	}
+	for i := range pd.kernels {
+		pd.kernels[i] = sim.New()
+	}
+	if pd.workers > 1 {
+		pd.startWorkers()
+	}
+	return pd
+}
+
+// startWorkers launches the persistent pool: worker j owns every kernel
+// with index ≡ j (mod workers), so a kernel is only ever touched by one
+// goroutine per window. The channel send publishes the coordinator's
+// barrier work to the worker; wg.Done publishes the window back.
+func (pd *pdesState) startWorkers() {
+	pd.start = make([]chan sim.Time, pd.workers)
+	for j := range pd.start {
+		ch := make(chan sim.Time, 1)
+		pd.start[j] = ch
+		go func(j int, ch chan sim.Time) {
+			for w := range ch {
+				for i := j; i < len(pd.kernels); i += pd.workers {
+					pd.kernels[i].Run(w)
+				}
+				pd.wg.Done()
+			}
+		}(j, ch)
+	}
+}
+
+// stop shuts the worker pool down (idempotent).
+func (pd *pdesState) stop() {
+	for _, ch := range pd.start {
+		close(ch)
+	}
+	pd.start = nil
+}
+
+// run drives the phase schedule: windows of one lookahead, a message
+// barrier before each. Phase transitions (window snapshot, crash
+// injection) run on the coordinator at their exact boundary — every kernel
+// sits precisely at the boundary then, because sim.Run lands the clock on
+// its horizon even when a kernel drains early.
+func (pd *pdesState) run(steps []phaseStep) {
+	now := sim.Time(0)
+	for _, st := range steps {
+		for now < st.at {
+			w := now + pd.lookahead
+			if w > st.at {
+				w = st.at
+			}
+			pd.deliver()
+			pd.runWindow(w)
+			now = w
+		}
+		if st.run != nil {
+			st.run()
+		}
+	}
+	pd.stop()
+}
+
+// runWindow advances every kernel to w.
+func (pd *pdesState) runWindow(w sim.Time) {
+	if pd.workers == 1 {
+		for _, k := range pd.kernels {
+			k.Run(w)
+		}
+		return
+	}
+	pd.wg.Add(pd.workers)
+	for _, ch := range pd.start {
+		ch <- w
+	}
+	pd.wg.Wait()
+}
+
+// send queues one message from its sender's logical process. Called only
+// from the sending node's kernel (or from the coordinator at a barrier,
+// e.g. crash-time lock releases — the pool is quiescent either way).
+func (pd *pdesState) send(m pdesMsg) {
+	pd.seqs[m.from]++
+	m.seq = pd.seqs[m.from]
+	pd.outboxes[m.from] = append(pd.outboxes[m.from], m)
+}
+
+// sendLockReq ships a lock request to the global lock manager; the verdict
+// materializes at the message's arrival.
+func (pd *pdesState) sendLockReq(e *node, txn cc.TxnID, g cc.Granule, mode cc.Mode, k func(bool)) {
+	pd.send(pdesMsg{kind: pdesLockReq, from: e.id, arrive: e.s.Now() + pd.lookahead,
+		txn: txn, g: g, mode: mode, k: k})
+}
+
+// sendLockRelease ships a one-way release of every lock txn holds.
+func (pd *pdesState) sendLockRelease(e *node, txn cc.TxnID) {
+	pd.send(pdesMsg{kind: pdesLockRelease, from: e.id, arrive: e.s.Now() + pd.lookahead, txn: txn})
+}
+
+// sendInvalidate broadcasts a write-invalidation for key.
+func (pd *pdesState) sendInvalidate(e *node, key storage.PageKey) {
+	pd.send(pdesMsg{kind: pdesInvalidate, from: e.id, arrive: e.s.Now() + pd.lookahead, key: key})
+}
+
+// sendReroute ships an arrival that hit a non-running node to the
+// coordinator; the reconnect decision needs cluster-wide state (survivor
+// phases, queue lengths) and is taken at the barrier.
+func (pd *pdesState) sendReroute(e *node, tx workload.Tx) {
+	pd.send(pdesMsg{kind: pdesReroute, from: e.id, arrive: e.s.Now() + pd.lookahead, tx: tx})
+}
+
+// deliver merges every outbox and applies the batch in (arrive, from, seq)
+// order. All pending arrivals fall inside the window about to run: a
+// message sent at T arrives at T+lookahead, and windows are at most one
+// lookahead wide.
+func (pd *pdesState) deliver() {
+	batch := pd.inbox[:0]
+	for i := range pd.outboxes {
+		batch = append(batch, pd.outboxes[i]...)
+		pd.outboxes[i] = pd.outboxes[i][:0]
+	}
+	if len(batch) == 0 {
+		pd.inbox = batch
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := &batch[i], &batch[j]
+		if a.arrive != b.arrive {
+			return a.arrive < b.arrive
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.seq < b.seq
+	})
+	for i := range batch {
+		pd.dispatch(&batch[i])
+	}
+	for i := range batch {
+		batch[i] = pdesMsg{} // drop closure references before reuse
+	}
+	pd.inbox = batch[:0]
+}
+
+// dispatch applies one message on the coordinator.
+func (pd *pdesState) dispatch(m *pdesMsg) {
+	c := pd.c
+	pd.msgTime = m.arrive
+	switch m.kind {
+	case pdesLockReq:
+		e := c.nodes[m.from]
+		if c.trackActive {
+			// The sender crashed while the request was in flight: the
+			// transaction is dead and its locks already released; the
+			// request must not reach the manager (see acquireLock).
+			if _, alive := e.active[m.txn]; !alive {
+				return
+			}
+		}
+		k := m.k
+		switch c.glocks.AcquireFrom(m.from, m.txn, m.g, m.mode) {
+		case cc.Granted:
+			e.s.Schedule(m.arrive-e.s.Now(), func() { k(true) })
+		case cc.Wait:
+			// Registered here, not via a kernel event: a release in the
+			// same batch may grant this transaction before its kernel
+			// runs again, and the grant must find the waiter.
+			start := m.arrive
+			e.waiting[m.txn] = func() {
+				if e.warm {
+					s := start
+					if s < e.warmStartTime {
+						s = e.warmStartTime
+					}
+					e.lockWait.Add(e.s.Now() - s)
+				}
+				k(true)
+			}
+		default: // cc.Deadlock
+			e.s.Schedule(m.arrive-e.s.Now(), func() { k(false) })
+		}
+	case pdesLockRelease:
+		// Grant cascades fire c.glocks' callback synchronously; the PDES
+		// branch of onLockGrant timestamps them with msgTime.
+		c.glocks.ReleaseAllFrom(m.from, m.txn)
+	case pdesInvalidate:
+		for _, n := range c.nodes {
+			if n.id == m.from {
+				continue
+			}
+			n, key := n, m.key
+			n.s.Schedule(m.arrive-n.s.Now(), func() {
+				if had, dirty := n.bm.Invalidate(key); had {
+					n.invalidations++
+					if dirty {
+						n.dirtyHandoffs++
+					}
+				}
+			})
+		}
+	case pdesReroute:
+		// Same decision chain as the coupled rerouter (admitArrival),
+		// taken at the barrier where survivor state is coherent. Drops
+		// and sheds count against the node whose arrival it was.
+		e := c.nodes[m.from]
+		target := c.reroute()
+		switch {
+		case target == nil:
+			if e.warm {
+				e.dropped++
+			}
+		case c.shedReroute(target):
+			if e.warm {
+				e.shed++
+			}
+		case target.mpl.QueueLen() >= target.cfg.MaxQueue:
+			if e.warm {
+				e.dropped++
+			}
+		default:
+			tgt, tx := target, m.tx
+			tgt.s.Spawn("tx", m.arrive-tgt.s.Now(), func(tp *sim.Process) { tgt.runTx(tp, tx) })
+		}
+	}
+}

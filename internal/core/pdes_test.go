@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pdesCluster builds a PDES-enabled Debit-Credit cluster over the
+// dcCluster template (global locking on, shared NVEM off — the parallel
+// engine rejects a shared cache).
+func pdesCluster(t *testing.T, nodes int, aggregateRate float64, workers int) ClusterConfig {
+	t.Helper()
+	cfg := dcCluster(t, nodes, aggregateRate, false)
+	cfg.PDES = PDESConfig{Enabled: true, Workers: workers}
+	return cfg
+}
+
+// runPDES executes one PDES cluster run.
+func runPDES(t *testing.T, cfg ClusterConfig) *ClusterResult {
+	t.Helper()
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPDESWorkerCountInvariant is the parallel engine's determinism pin: a
+// serial coordinator (Workers = 1) and a parallel one must produce
+// identical per-node Results — cross-node state is only touched at
+// barriers, in (arrive, sender, seq) order, independent of which goroutine
+// ran which kernel.
+func TestPDESWorkerCountInvariant(t *testing.T) {
+	serial := runPDES(t, pdesCluster(t, 3, 300, 1))
+	if serial.Cluster.Commits == 0 {
+		t.Fatal("PDES run produced no commits")
+	}
+	if serial.Cluster.LockMsgs == 0 {
+		t.Fatal("global locking under PDES produced no messages")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		parallel := runPDES(t, pdesCluster(t, 3, 300, workers))
+		for i := range serial.Nodes {
+			if !reflect.DeepEqual(serial.Nodes[i], parallel.Nodes[i]) {
+				t.Fatalf("workers=%d: node %d diverged from the serial run:\n%+v\nvs\n%+v",
+					workers, i, parallel.Nodes[i], serial.Nodes[i])
+			}
+		}
+		if got, want := parallel.Report(), serial.Report(); got != want {
+			t.Fatalf("workers=%d: report diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestPDESFailureWorkerCountInvariant extends the worker-count pin across
+// the hardest schedule: a mid-window crash whose arrivals reroute through
+// barrier messages, admission shedding on the survivors, in-flight lock
+// requests of killed transactions, and redo recovery on the crashed node's
+// own kernel.
+func TestPDESFailureWorkerCountInvariant(t *testing.T) {
+	build := func(workers int) ClusterConfig {
+		cfg := pdesCluster(t, 3, 360, workers)
+		cfg.Base.Buffer.CheckpointIntervalMS = 1000
+		cfg.Failure = FailureConfig{Enabled: true, Node: 1, CrashAtMS: 800, RebootMS: 600}
+		cfg.Admission = AdmissionConfig{Enabled: true}
+		cfg.TimelineBucketMS = 250
+		return cfg
+	}
+	serial := runPDES(t, build(1))
+	if serial.Cluster.Restart == nil {
+		t.Fatal("crash injected but no restart report")
+	}
+	parallel := runPDES(t, build(4))
+	for i := range serial.Nodes {
+		if !reflect.DeepEqual(serial.Nodes[i], parallel.Nodes[i]) {
+			t.Fatalf("node %d diverged across worker counts:\n%+v\nvs\n%+v",
+				i, parallel.Nodes[i], serial.Nodes[i])
+		}
+	}
+	if got, want := parallel.Report(), serial.Report(); got != want {
+		t.Fatalf("failure-run report diverged:\n%s\nvs\n%s", got, want)
+	}
+	// The crashed node's outage must be visible: its arrivals rerouted to
+	// the survivors, so it commits strictly less than either of them.
+	for _, i := range []int{0, 2} {
+		if serial.Nodes[1].Commits >= serial.Nodes[i].Commits {
+			t.Fatalf("crashed node committed %d, survivor %d committed %d — no outage visible",
+				serial.Nodes[1].Commits, i, serial.Nodes[i].Commits)
+		}
+	}
+}
+
+// TestPDESRepeatable: two PDES runs of one configuration render identical
+// reports (the cluster-level determinism the golden corpus relies on).
+func TestPDESRepeatable(t *testing.T) {
+	a := runPDES(t, pdesCluster(t, 2, 200, 2))
+	b := runPDES(t, pdesCluster(t, 2, 200, 2))
+	if ar, br := a.Report(), b.Report(); ar != br {
+		t.Fatalf("PDES runs diverged:\n%s\nvs\n%s", ar, br)
+	}
+}
+
+// TestPDESValidate covers the parallel engine's configuration checks.
+func TestPDESValidate(t *testing.T) {
+	bad := dcCluster(t, 2, 200, true) // shared NVEM cache
+	bad.PDES = PDESConfig{Enabled: true}
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("PDES with a shared NVEM cache must error")
+	}
+	bad = pdesCluster(t, 2, 200, -1)
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("negative Workers must error")
+	}
+}

@@ -70,8 +70,15 @@ func (c *cluster) phases() []phaseStep {
 // runPhases executes the schedule: every event up to each boundary fires
 // before the boundary's transition runs (events exactly at the boundary
 // included), exactly like the former monolithic warmup→measure flow.
+// Under PDES the parallel coordinator advances the per-node kernels in
+// lookahead windows between the same boundaries (pdes.go).
 func (c *cluster) runPhases() {
-	for _, st := range c.phases() {
+	steps := c.phases()
+	if c.pdes != nil {
+		c.pdes.run(steps)
+		return
+	}
+	for _, st := range steps {
 		c.s.Run(st.at)
 		if st.run != nil {
 			st.run()
@@ -85,8 +92,6 @@ func (c *cluster) openWindow() {
 	for _, n := range c.nodes {
 		n.snapshot()
 	}
-	c.baseInval = c.invalidations
-	c.baseHandoffs = c.dirtyHandoffs
 	if c.glocks != nil {
 		c.baseGlobal = c.glocks.Stats()
 	}

@@ -44,6 +44,19 @@ type ClusterSetup struct {
 	// admission controller on the rerouter.
 	Arrival   workload.ArrivalSpec
 	Admission core.AdmissionConfig
+
+	// Parallel-simulation knobs (the cluster.scaleout64 experiment): run
+	// the cluster under the conservative PDES engine, one kernel and
+	// private storage per node. Exclusive with SharedNVEM.
+	PDES        bool
+	PDESWorkers int
+
+	// Per-node storage sizing overrides (0 → the shared-storage defaults
+	// of 12/96 db and 2/8 log controllers/disks). The PDES engine gives
+	// every node its own devices, so large clusters size them per node
+	// instead of replicating the full shared farm N times.
+	DBControllers, DBDisks   int
+	LogControllers, LogDisks int
 }
 
 // Build assembles the cluster configuration.
@@ -117,13 +130,26 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 	bufCfg.CheckpointIntervalMS = s.CheckpointMS
 	base.Buffer = bufCfg
 
+	dbc, dbd, lgc, lgd := 12, 96, 2, 8
+	if s.DBControllers > 0 {
+		dbc = s.DBControllers
+	}
+	if s.DBDisks > 0 {
+		dbd = s.DBDisks
+	}
+	if s.LogControllers > 0 {
+		lgc = s.LogControllers
+	}
+	if s.LogDisks > 0 {
+		lgd = s.LogDisks
+	}
 	base.DiskUnits = []storage.DiskUnitConfig{
-		{Name: "db", Type: storage.Regular, NumControllers: 12,
+		{Name: "db", Type: storage.Regular, NumControllers: dbc,
 			ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
-			NumDisks: 96, DiskDelay: core.DefaultDBDiskDelay},
-		{Name: "log", Type: storage.Regular, NumControllers: 2,
+			NumDisks: dbd, DiskDelay: core.DefaultDBDiskDelay},
+		{Name: "log", Type: storage.Regular, NumControllers: lgc,
 			ContrDelay: core.DefaultContrDelay, TransDelay: core.DefaultTransDelay,
-			NumDisks: 8, DiskDelay: core.DefaultLogDiskDelay},
+			NumDisks: lgd, DiskDelay: core.DefaultLogDiskDelay},
 	}
 
 	cfg := core.ClusterConfig{
@@ -134,6 +160,7 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 		GlobalLocks:      s.GlobalLocks,
 		TimelineBucketMS: s.TimelineBucketMS,
 		Admission:        s.Admission,
+		PDES:             core.PDESConfig{Enabled: s.PDES, Workers: s.PDESWorkers},
 	}
 	if s.CrashAtMS > 0 {
 		cfg.Failure = core.FailureConfig{
@@ -232,6 +259,83 @@ func ClusterScaleout(o Options) (*stats.Figure, *stats.Figure, error) {
 		return nil, nil, err
 	}
 	return resp, hits, nil
+}
+
+// pdesNodeCounts is the node-count sweep of the PDES scale-up experiment:
+// unlike nodeCounts it grows the offered load with the cluster, so the
+// interesting axis is coordination overhead at scale, not load splitting.
+func (o Options) pdesNodeCounts() []float64 {
+	if o.Quick {
+		return []float64{4, 16, 64}
+	}
+	return []float64{4, 16, 64, 128}
+}
+
+// ClusterScaleout64 extends the scale-out story to 64 nodes and beyond
+// under the conservative parallel engine: every node carries a fixed 50
+// TPS of Debit-Credit with its own storage (2/12 db, 1/2 log
+// controllers/disks, 500 MM frames), global locking on, so the sweep
+// isolates what scale itself costs — lock-manager round trips and
+// write-invalidate traffic growing with the node count. Private NVEM
+// caches are compared against disk-only nodes (the shared cache has
+// zero-lookahead coherence and cannot run under PDES).
+func ClusterScaleout64(o Options) (*stats.Figure, *stats.Figure, error) {
+	resp := &stats.Figure{
+		Title:  "PDES scale-up at 50 TPS per node (Debit-Credit, global locks, per-node storage)",
+		XLabel: "nodes",
+		YLabel: "mean response time [ms]",
+		X:      o.pdesNodeCounts(),
+	}
+	tput := &stats.Figure{
+		Title:  "PDES scale-up: aggregate throughput",
+		XLabel: "nodes",
+		YLabel: "committed TPS",
+		X:      o.pdesNodeCounts(),
+	}
+	type scheme struct {
+		label   string
+		private int
+	}
+	schemes := []scheme{
+		{"private-nvem", 500},
+		{"disk-only", 0},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	g := newGrid(o, len(schemes), len(resp.X))
+	for si := range schemes {
+		for xi := range resp.X {
+			si, xi := si, xi
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				sc, nodes := schemes[si], int(resp.X[xi])
+				res, err := ClusterSetup{Nodes: nodes, AggregateRate: 50 * float64(nodes),
+					MMBuffer: 500, PrivateNVEM: sc.private, GlobalLocks: true,
+					PDES:          true,
+					DBControllers: 2, DBDisks: 12, LogControllers: 1, LogDisks: 2}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("cluster.scaleout64 %s @%d: %w", sc.label, nodes, err)
+				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, label := range labels {
+		points, cis := seriesOf(cells[si], respMean)
+		if err := resp.AddSeriesCI(label, points, cis); err != nil {
+			return nil, nil, err
+		}
+		tp, tpCI := seriesOf(cells[si], throughput)
+		if err := tput.AddSeriesCI(label, tp, tpCI); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, tput, nil
 }
 
 // ClusterAllocation compares, at four nodes over an aggregate-rate sweep,

@@ -253,6 +253,17 @@ func All() []Experiment {
 			},
 		},
 		{
+			Name:  "cluster.scaleout64",
+			Title: "64-node scale-up under the conservative parallel engine (PDES)",
+			Run: func(o Options) (string, error) {
+				resp, tput, err := ClusterScaleout64(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + tput.Render(), nil
+			},
+		},
+		{
 			Name:  "cluster.allocation",
 			Title: "Shared vs. private NVEM caches on a 4-node data-sharing cluster",
 			Run: func(o Options) (string, error) {

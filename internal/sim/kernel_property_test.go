@@ -29,10 +29,10 @@ type trackRec struct {
 
 // propRun drives one randomized program on a fresh kernel and checks all
 // three properties.
-func propRun(t *testing.T, seed int64) {
+func propRun(t *testing.T, seed int64, kind QueueKind) {
 	t.Helper()
 	rnd := rand.New(rand.NewSource(seed))
-	s := New()
+	s := NewWithQueue(kind)
 	res := s.NewResource("dev", 1+rnd.Intn(3))
 
 	var fired, expected []trackRec
@@ -150,7 +150,146 @@ func propRun(t *testing.T, seed int64) {
 
 func TestKernelProperties(t *testing.T) {
 	for seed := int64(1); seed <= 100; seed++ {
-		propRun(t, seed)
+		propRun(t, seed, QueueCalendar)
+		propRun(t, seed, QueueHeap)
+	}
+}
+
+// TestQueueDifferential runs randomized event programs through the binary
+// heap and the calendar queue and demands identical (time, seq) pop
+// sequences. Programs interleave pushes and pops, mix dense near-term
+// timestamps with a far-future band (exercising the calendar queue's
+// overflow heap and window advances), and include heavy timestamp ties.
+func TestQueueDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		heap := &eventHeap{}
+		cal := newCalQueue()
+		var seq uint64
+		now := Time(0)
+
+		push := func() {
+			var at Time
+			switch rnd.Intn(10) {
+			case 0: // far-future band → calendar overflow
+				at = now + 1_000 + Time(rnd.Intn(100_000))
+			case 1, 2: // tie with the current instant
+				at = now
+			default: // dense near band, quantized for more ties
+				at = now + Time(rnd.Intn(40))*0.25
+			}
+			seq++
+			ev := event{at: at, seq: seq}
+			heap.Push(ev)
+			cal.Push(ev)
+		}
+		pop := func() {
+			if heap.Len() == 0 {
+				return
+			}
+			if pa, pb := heap.Peek(), cal.Peek(); pa.at != pb.at || pa.seq != pb.seq {
+				t.Fatalf("seed %d: peek diverged: heap (at=%v seq=%d), cal (at=%v seq=%d)",
+					seed, pa.at, pa.seq, pb.at, pb.seq)
+			}
+			a, b := heap.Pop(), cal.Pop()
+			if a.at != b.at || a.seq != b.seq {
+				t.Fatalf("seed %d: pop diverged: heap (at=%v seq=%d), cal (at=%v seq=%d)",
+					seed, a.at, a.seq, b.at, b.seq)
+			}
+			if a.at < now {
+				t.Fatalf("seed %d: time ran backwards: %v after %v", seed, a.at, now)
+			}
+			now = a.at
+		}
+
+		for i := 0; i < 3000; i++ {
+			if rnd.Intn(5) < 3 {
+				push()
+			} else {
+				pop()
+			}
+			if heap.Len() != cal.Len() {
+				t.Fatalf("seed %d: length diverged: heap %d, cal %d", seed, heap.Len(), cal.Len())
+			}
+		}
+		for heap.Len() > 0 {
+			pop()
+		}
+		if cal.Len() != 0 {
+			t.Fatalf("seed %d: calendar queue not drained: %d left", seed, cal.Len())
+		}
+	}
+}
+
+// TestCalendarDrainRefill pins the bucket-rotation edge case: draining the
+// ring completely and refilling far beyond the old window must re-anchor
+// the window (pulling the overflow band back in) without losing events or
+// breaking (at, seq) order. The refill count also exceeds twice the initial
+// bucket count, forcing a grow-and-redistribute cycle mid-sequence.
+func TestCalendarDrainRefill(t *testing.T) {
+	q := newCalQueue()
+	var seq uint64
+	push := func(at Time) {
+		seq++
+		q.Push(event{at: at, seq: seq})
+	}
+	popAt := func(want Time) {
+		t.Helper()
+		ev := q.Pop()
+		if ev.at != want {
+			t.Fatalf("popped at=%v, want %v", ev.at, want)
+		}
+	}
+
+	for cycle := 0; cycle < 5; cycle++ {
+		// Jump the epoch far past the previous window so the refill starts
+		// life entirely in the overflow band.
+		base := Time(cycle) * 1e7
+		n := 3 * calInitNB // > 2*nb → forces a grow mid-cycle
+		for i := n - 1; i >= 0; i-- {
+			push(base + Time(i)*0.5)
+		}
+		for i := 0; i < n; i++ {
+			popAt(base + Time(i)*0.5)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("cycle %d: %d events left after drain", cycle, q.Len())
+		}
+	}
+}
+
+// TestRunDrainedClockAdvances pins the sim-clock contract: Run(until) lands
+// the clock exactly on until whether it stops because the next event is too
+// late or because the queue drained early. Before the fix the drained path
+// left Now() at the last event's timestamp, under-counting window lengths.
+func TestRunDrainedClockAdvances(t *testing.T) {
+	for _, kind := range []QueueKind{QueueCalendar, QueueHeap} {
+		s := NewWithQueue(kind)
+		fired := 0
+		s.Schedule(3, func() { fired++ })
+
+		// Queue drains before until: the clock must still advance to until.
+		if got := s.Run(10); got != 10 || s.Now() != 10 {
+			t.Fatalf("kind %d: Run(10) on a draining queue: returned %v, Now()=%v, want 10", kind, got, s.Now())
+		}
+		if fired != 1 {
+			t.Fatalf("kind %d: event fired %d times, want 1", kind, fired)
+		}
+
+		// The clock never moves backwards: a shorter Run on an empty queue
+		// keeps the later timestamp.
+		if got := s.Run(5); got != 10 || s.Now() != 10 {
+			t.Fatalf("kind %d: Run(5) after t=10: returned %v, Now()=%v, want 10", kind, got, s.Now())
+		}
+
+		// Early exit (next event after until) still lands exactly on until.
+		s.Schedule(7, func() { fired++ })
+		if got := s.Run(12); got != 12 || s.Now() != 12 || fired != 1 {
+			t.Fatalf("kind %d: Run(12) with event at 17: returned %v, Now()=%v, fired=%d", kind, got, s.Now(), fired)
+		}
+		if got := s.RunAll(); got != 17 || fired != 2 {
+			t.Fatalf("kind %d: RunAll: returned %v, fired=%d", kind, got, fired)
+		}
 	}
 }
 

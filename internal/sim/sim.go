@@ -22,14 +22,50 @@ type Time = float64
 // within event continuations (which the kernel serializes).
 type Sim struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 
 	nextPID int
 }
 
-// New creates an empty simulation at time zero.
-func New() *Sim { return &Sim{} }
+// eventQueue is the pending-event set behind a Sim. Both implementations
+// order strictly by (at, seq), which is the kernel's determinism contract:
+// any two queues fed the same pushes produce the same pop sequence.
+type eventQueue interface {
+	Len() int
+	Push(event)
+	// Peek and Pop return the (at, seq)-minimum; they must not be called
+	// on an empty queue.
+	Peek() event
+	Pop() event
+	Clear()
+}
+
+// QueueKind selects the event-queue implementation backing a Sim.
+type QueueKind int
+
+const (
+	// QueueCalendar is the default: a calendar queue with O(1) amortized
+	// operations and a heap-backed far-future overflow band.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the plain binary heap — O(log n), kept as the
+	// reference implementation for differential tests.
+	QueueHeap
+)
+
+// New creates an empty simulation at time zero, backed by the calendar
+// queue.
+func New() *Sim { return NewWithQueue(QueueCalendar) }
+
+// NewWithQueue creates an empty simulation at time zero backed by the given
+// event-queue implementation. Both kinds honor the same (at, seq) ordering
+// contract, so the choice affects performance only.
+func NewWithQueue(kind QueueKind) *Sim {
+	if kind == QueueHeap {
+		return &Sim{events: &eventHeap{}}
+	}
+	return &Sim{events: newCalQueue()}
+}
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
@@ -56,9 +92,12 @@ func (s *Sim) scheduleRelease(r *Resource, delay Time, fn func()) {
 	s.events.Push(event{at: s.now + delay, seq: s.seq, fn: fn, release: r})
 }
 
-// Run executes events until the event heap is empty or the next event would
-// fire after the until timestamp. It returns the simulated time at which it
-// stopped. Events exactly at until still fire.
+// Run executes events until the event queue is empty or the next event
+// would fire after the until timestamp. It returns the simulated time at
+// which it stopped. Events exactly at until still fire. The clock always
+// lands on until (never before, never after): draining the queue early
+// advances now to until just as the next-event-too-late exit does, so
+// window-length math via Now() stays exact either way.
 func (s *Sim) Run(until Time) Time {
 	for s.events.Len() > 0 {
 		if s.events.Peek().at > until {
@@ -71,6 +110,9 @@ func (s *Sim) Run(until Time) Time {
 			ev.release.Release()
 		}
 		ev.fn()
+	}
+	if s.now < until {
+		s.now = until
 	}
 	return s.now
 }
@@ -92,5 +134,5 @@ func (s *Sim) RunAll() Time {
 // continuations are abandoned where they stand. After Shutdown the
 // simulation can be inspected but no longer advanced.
 func (s *Sim) Shutdown() {
-	s.events.items = nil
+	s.events.Clear()
 }

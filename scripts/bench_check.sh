@@ -1,0 +1,45 @@
+#!/bin/sh
+# Benchstat-style regression gate for the kernel hot path: runs
+# BenchmarkKernelHeap10M fresh and compares its ns/op against the newest
+# committed BENCH_<date>.json snapshot. The run must not be slower than the
+# baseline by more than the tolerance (a one-iteration run on shared CI
+# hardware is noisy; real regressions on a 10M-event stressor dwarf 30%).
+#
+# Usage:
+#   ./scripts/bench_check.sh                    # default bench + tolerance
+#   BENCH=BenchmarkSimKernel TOLERANCE=50 ./scripts/bench_check.sh
+set -eu
+cd "$(dirname "$0")/.."
+bench="${BENCH:-BenchmarkKernelHeap10M}"
+tolerance="${TOLERANCE:-30}" # percent slower than baseline that still passes
+
+baseline=$(ls BENCH_*.json | sort | tail -n 1)
+if [ -z "$baseline" ]; then
+    echo "bench_check: no BENCH_*.json baseline committed" >&2
+    exit 1
+fi
+old=$(sed -n "s/.*\"name\": \"${bench}\".*\"ns\/op\": \([0-9]*\).*/\1/p" "$baseline")
+if [ -z "$old" ]; then
+    echo "bench_check: ${bench} not found in ${baseline}" >&2
+    exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "^${bench}\$" -benchtime 1x . | tee "$tmp"
+new=$(awk -v b="$bench" '$1 ~ "^"b { print $3; exit }' "$tmp")
+if [ -z "$new" ]; then
+    echo "bench_check: ${bench} produced no result" >&2
+    exit 1
+fi
+
+awk -v old="$old" -v new="$new" -v tol="$tolerance" -v bench="$bench" -v base="$baseline" 'BEGIN {
+    delta = 100 * (new - old) / old
+    printf "%-24s  old %.0f ns/op (%s)  new %.0f ns/op  delta %+.1f%% (gate: +%s%%)\n",
+        bench, old, base, new, delta, tol
+    if (delta > tol) {
+        printf "bench_check: %s regressed beyond tolerance\n", bench
+        exit 1
+    }
+}'
+echo "bench_check: ok"

@@ -68,6 +68,10 @@ type (
 	// AdmissionConfig is the recovery-aware admission controller shedding
 	// rerouted arrivals above a survivor-capacity threshold.
 	AdmissionConfig = core.AdmissionConfig
+	// PDESConfig switches a cluster run to the conservative parallel
+	// engine: one kernel and private storage per node, cross-node events
+	// exchanged at message-latency lookahead barriers.
+	PDESConfig = core.PDESConfig
 )
 
 // RunCluster executes one multi-node data-sharing simulation.
