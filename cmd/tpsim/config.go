@@ -82,12 +82,22 @@ type failureConfig struct {
 }
 
 type workloadConfig struct {
-	Kind string  `json:"kind"` // "debitcredit", "trace" or "synthetic"
+	Kind string  `json:"kind"` // "debitcredit", "trace", "synthetic" or "classes"
 	Rate float64 `json:"rate"`
 
 	// Arrival selects the arrival process of every transaction-type
 	// stream. Absent: Poisson (the paper's evaluation).
 	Arrival *arrivalConfig `json:"arrival"`
+
+	// Access skews the object draws: the within-branch account selection
+	// for debitcredit, the CUSTOMER selection for classes. Absent: uniform
+	// (the paper's evaluation).
+	Access *accessConfig `json:"access"`
+
+	// Classes is the multi-class mix of workload kind "classes": the
+	// standard two-partition database with one transaction class per entry,
+	// reported separately in the result's per-class lines.
+	Classes []classConfig `json:"classes"`
 
 	// Debit-Credit overrides (zero = Table 4.1 defaults).
 	Branches  int64 `json:"branches"`
@@ -103,10 +113,54 @@ type workloadConfig struct {
 	Synthetic *tpsim.Model `json:"synthetic"`
 }
 
+// accessConfig is the JSON form of tpsim.AccessSpec. Kind selects the
+// family; only that family's parameters apply.
+type accessConfig struct {
+	Kind string `json:"kind"` // uniform (default), zipf, hotspot
+
+	// zipf: rank-frequency exponent, 0 < theta < 1.
+	Theta float64 `json:"theta"`
+
+	// hotspot: hotAccessFrac of the draws land on the first hotDataFrac of
+	// the objects (e.g. 0.9 / 0.01 — "90% of accesses to 1% of the data").
+	HotAccessFrac float64 `json:"hotAccessFrac"`
+	HotDataFrac   float64 `json:"hotDataFrac"`
+}
+
+// assemble maps the JSON form onto the engine spec.
+func (a *accessConfig) assemble() (tpsim.AccessSpec, error) {
+	spec := tpsim.AccessSpec{
+		Theta:         a.Theta,
+		HotAccessFrac: a.HotAccessFrac,
+		HotDataFrac:   a.HotDataFrac,
+	}
+	switch a.Kind {
+	case "uniform", "":
+		spec.Kind = tpsim.AccessUniform
+	case "zipf":
+		spec.Kind = tpsim.AccessZipf
+	case "hotspot":
+		spec.Kind = tpsim.AccessHotSpot
+	default:
+		return spec, fmt.Errorf("unknown access kind %q", a.Kind)
+	}
+	return spec, spec.Validate()
+}
+
+// classConfig is the JSON form of one tpsim.ClassSpec.
+type classConfig struct {
+	Name       string  `json:"name"`
+	Rate       float64 `json:"rate"`
+	Size       float64 `json:"size"`
+	WriteProb  float64 `json:"writeProb"`
+	Sequential bool    `json:"sequential"`
+	VarSize    bool    `json:"varSize"`
+}
+
 // arrivalConfig is the JSON form of tpsim.ArrivalSpec. Kind selects the
 // family; only that family's parameters apply.
 type arrivalConfig struct {
-	Kind string `json:"kind"` // poisson (default), mmpp, diurnal, spike
+	Kind string `json:"kind"` // poisson (default), mmpp, diurnal, spike, closedloop, replay
 
 	// mmpp: bursts at burstFactor × the mean rate covering burstFrac of
 	// the time (mean burst sojourn burstMeanMS; 0 → 500 ms), base rate
@@ -126,6 +180,17 @@ type arrivalConfig struct {
 	SpikeFactor float64 `json:"spikeFactor"`
 	SpikeAtMS   float64 `json:"spikeAtMS"`
 	SpikeDurMS  float64 `json:"spikeDurMS"`
+
+	// closedloop: terminals each cycle think(thinkMS) -> submit -> wait for
+	// the response; workload.rate is ignored for closed-loop streams.
+	Terminals int     `json:"terminals"`
+	ThinkMS   float64 `json:"thinkMS"`
+
+	// replay: piecewise-constant rate = workload.rate × the bucket's
+	// multiplier, each bucket rateBucketMS long (e.g. a timeline recorded
+	// from a trace); the schedule repeats past the last bucket.
+	RateBucketMS    float64   `json:"rateBucketMS"`
+	RateMultipliers []float64 `json:"rateMultipliers"`
 }
 
 // assemble maps the JSON form onto the engine spec.
@@ -140,6 +205,12 @@ func (a *arrivalConfig) assemble() (tpsim.ArrivalSpec, error) {
 		SpikeFactor: a.SpikeFactor,
 		SpikeAtMS:   a.SpikeAtMS,
 		SpikeDurMS:  a.SpikeDurMS,
+
+		Terminals: a.Terminals,
+		ThinkMS:   a.ThinkMS,
+
+		RateBucketMS:    a.RateBucketMS,
+		RateMultipliers: a.RateMultipliers,
 	}
 	switch a.Kind {
 	case "poisson", "":
@@ -150,6 +221,10 @@ func (a *arrivalConfig) assemble() (tpsim.ArrivalSpec, error) {
 		spec.Kind = tpsim.ArrivalDiurnal
 	case "spike":
 		spec.Kind = tpsim.ArrivalSpike
+	case "closedloop":
+		spec.Kind = tpsim.ArrivalClosedLoop
+	case "replay":
+		spec.Kind = tpsim.ArrivalReplay
 	default:
 		return spec, fmt.Errorf("unknown arrival kind %q", a.Kind)
 	}
@@ -399,6 +474,19 @@ func (fc *fileConfig) assemble() (tpsim.Config, error) {
 
 func (fc *fileConfig) workload(cfg *tpsim.Config) error {
 	w := fc.Workload
+	var skew tpsim.AccessSpec
+	if w.Access != nil {
+		var err error
+		skew, err = w.Access.assemble()
+		if err != nil {
+			return err
+		}
+		switch w.Kind {
+		case "debitcredit", "", "classes":
+		default:
+			return fmt.Errorf("workload.access is not supported for kind %q", w.Kind)
+		}
+	}
 	switch w.Kind {
 	case "debitcredit", "":
 		dcc := tpsim.DefaultDebitCreditConfig(w.Rate)
@@ -411,11 +499,37 @@ func (fc *fileConfig) workload(cfg *tpsim.Config) error {
 		if w.Uncluster {
 			dcc.ClusterBranchTeller = false
 		}
+		dcc.AccountSkew = skew
 		gen, err := tpsim.NewDebitCredit(dcc)
 		if err != nil {
 			return err
 		}
 		cfg.Partitions = gen.Partitions()
+		cfg.Generator = gen
+	case "classes":
+		if len(w.Classes) == 0 {
+			return fmt.Errorf("workload.kind classes requires workload.classes")
+		}
+		classes := make([]tpsim.ClassSpec, len(w.Classes))
+		for i, c := range w.Classes {
+			classes[i] = tpsim.ClassSpec{
+				Name:       c.Name,
+				Rate:       c.Rate,
+				Size:       c.Size,
+				WriteProb:  c.WriteProb,
+				Sequential: c.Sequential,
+				VarSize:    c.VarSize,
+			}
+		}
+		m, err := tpsim.ClassMixModel(classes, skew)
+		if err != nil {
+			return err
+		}
+		gen, err := tpsim.NewSynthetic(m)
+		if err != nil {
+			return err
+		}
+		cfg.Partitions = m.Partitions
 		cfg.Generator = gen
 	case "trace":
 		f, err := os.Open(w.TraceFile)

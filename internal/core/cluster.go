@@ -124,6 +124,12 @@ func (c *ClusterConfig) Validate() error {
 	if err := c.Failure.validate(c.NumNodes, c.Base.MeasureMS); err != nil {
 		return err
 	}
+	if c.Failure.Enabled && c.Base.Arrival.Kind == workload.ArrivalClosedLoop {
+		// A crash kills in-flight transactions without completing them, so
+		// their terminals would never think again — the terminal population
+		// silently shrinks and the post-recovery load is wrong.
+		return fmt.Errorf("core: closed-loop arrivals cannot run with failure injection")
+	}
 	if err := c.Admission.validate(); err != nil {
 		return err
 	}
@@ -546,6 +552,27 @@ func (c *cluster) aggregate(nodes []*Result) *Result {
 		agg.Throughput += r.Throughput
 		agg.LockMsgs += r.LockMsgs
 		agg.Saturated = agg.Saturated || r.Saturated
+		agg.Terminals += r.Terminals
+		if r.ThinkMS > 0 {
+			agg.ThinkMS = r.ThinkMS
+		}
+		// Terminal-weighted: the aggregate is total waiting terminals over
+		// total terminals.
+		agg.TerminalWaitFrac += float64(r.Terminals) * r.TerminalWaitFrac
+		for ci, cr := range r.Classes {
+			if ci == len(agg.Classes) {
+				agg.Classes = append(agg.Classes, ClassReport{Name: cr.Name})
+			}
+			ac := &agg.Classes[ci]
+			ac.Commits += cr.Commits
+			ac.Aborts += cr.Aborts
+			ac.Dropped += cr.Dropped
+			ac.Shed += cr.Shed
+			ac.RespMean += float64(cr.Commits) * cr.RespMean
+			if cr.RespP95 > ac.RespP95 {
+				ac.RespP95 = cr.RespP95
+			}
+		}
 		w := float64(r.Commits)
 		commits += w
 		agg.RespMean += w * r.RespMean
@@ -573,6 +600,14 @@ func (c *cluster) aggregate(nodes []*Result) *Result {
 		agg.RespMean /= commits
 		agg.LockWaitMean /= commits
 		agg.IOWaitMean /= commits
+	}
+	if agg.Terminals > 0 {
+		agg.TerminalWaitFrac /= float64(agg.Terminals)
+	}
+	for i := range agg.Classes {
+		if ac := &agg.Classes[i]; ac.Commits > 0 {
+			ac.RespMean /= float64(ac.Commits)
+		}
 	}
 	if window > 0 && cpuCap > 0 {
 		agg.CPUUtil = cpuBusy / (cpuCap * window)

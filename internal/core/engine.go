@@ -69,15 +69,25 @@ type node struct {
 	// Measurement. Counters guarded by warm (or baselined at snapshot)
 	// cover exactly the measurement window; see DESIGN.md for the
 	// measurement-window contract.
-	warm          bool
-	resp          *stats.Summary
-	lockWait      *stats.Summary
-	ioWait        *stats.Summary
-	commits       int64
-	aborts        int64
-	dropped       int64
-	shed          int64
-	stopArrivals  bool
+	warm         bool
+	resp         *stats.Summary
+	lockWait     *stats.Summary
+	ioWait       *stats.Summary
+	commits      int64
+	aborts       int64
+	dropped      int64
+	shed         int64
+	stopArrivals bool
+	// Per-class window accounting, allocated only for multi-class
+	// generators (nil otherwise) and indexed by Tx.Type. The scalar
+	// counters above stay the source of truth for aggregates.
+	classes []classAcc
+	// Closed-loop arrivals (ArrivalClosedLoop): terminals drive arrivals
+	// from completions, and saturation is read off the MPL queue integral
+	// instead of drops (a closed loop never drops).
+	closedLoop    bool
+	terminals     int
+	baseQueueInt  float64
 	baseBuf       buffer.Stats
 	basePart      []buffer.PartitionStats
 	baseLocks     cc.Stats
@@ -173,6 +183,17 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 		n.locks = cc.NewManager(n.onLockGrant)
 	}
 
+	// Per-class accounting only exists when classes can actually share the
+	// node — single-type generators keep the exact scalar path (and byte-
+	// identical reports).
+	if nt := cfg.Generator.NumTypes(); nt > 1 {
+		n.classes = make([]classAcc, nt)
+		for i := range n.classes {
+			name, _ := cfg.Generator.TypeInfo(i)
+			n.classes[i] = classAcc{name: name, resp: stats.NewSummary("resp-"+name, true)}
+		}
+	}
+
 	// Arrival processes, one per transaction type.
 	for i := 0; i < cfg.Generator.NumTypes(); i++ {
 		if err := n.spawnArrivals(i); err != nil {
@@ -180,6 +201,26 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 		}
 	}
 	return n, nil
+}
+
+// classAcc is one transaction class's measurement-window accounting.
+type classAcc struct {
+	name    string
+	commits int64
+	aborts  int64
+	dropped int64
+	shed    int64
+	resp    *stats.Summary
+}
+
+// classOf returns the class slot for a transaction type, or nil on a
+// single-class node (or a type index outside the generator's declared
+// range, which trace replay in common-rate mode produces).
+func (e *node) classOf(typeIdx int) *classAcc {
+	if e.classes == nil || typeIdx < 0 || typeIdx >= len(e.classes) {
+		return nil
+	}
+	return &e.classes[typeIdx]
 }
 
 // procName appends the node's cluster suffix to a diagnostic name, the
@@ -351,6 +392,12 @@ func (e *node) releaseLocks(txn cc.TxnID) {
 // --- workload arrival and transaction execution ---
 
 func (e *node) spawnArrivals(typeIdx int) error {
+	if e.cfg.Arrival.Kind == workload.ArrivalClosedLoop {
+		// Closed loop: no rate clock — completions schedule arrivals, so
+		// the stream exists even at a zero configured rate.
+		e.spawnTerminals(typeIdx)
+		return nil
+	}
 	_, rate := e.cfg.Generator.TypeInfo(typeIdx)
 	if rate <= 0 {
 		return nil
@@ -382,6 +429,43 @@ func (e *node) spawnArrivals(typeIdx int) error {
 	return nil
 }
 
+// spawnTerminals starts the closed-loop arrival mode for one transaction
+// type: Terminals emulated users, each cycling think → submit → (completion)
+// → think. The think time is exponential with mean ThinkMS, drawn from the
+// arrival stream like open-loop gaps; the transaction itself comes from the
+// workload stream, exactly as in the open-loop path. Closed-loop arrivals
+// never hit the MaxQueue drop: the terminal population is the admission
+// limit, and a "dropped" terminal would silently shrink it for the rest of
+// the run.
+func (e *node) spawnTerminals(typeIdx int) {
+	spec := &e.cfg.Arrival
+	e.closedLoop = true
+	e.terminals += spec.Terminals
+	for ti := 0; ti < spec.Terminals; ti++ {
+		e.s.Spawn(fmt.Sprintf("terminal-%d-%d", typeIdx, ti), 0, func(p *sim.Process) {
+			var think func()
+			submit := func() {
+				if e.stopArrivals {
+					return
+				}
+				tx := e.cfg.Generator.Next(typeIdx, e.genRnd)
+				if len(tx.Accesses) == 0 {
+					think()
+					return
+				}
+				e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTxNotify(tp, tx, think) })
+			}
+			think = func() {
+				if e.stopArrivals {
+					return
+				}
+				p.Hold(e.arrRnd.Exp(spec.ThinkMS), submit)
+			}
+			think()
+		})
+	}
+}
+
 // admitArrival routes one arrival: run it locally, or — while this node is
 // down — reroute it to a surviving node (clients reconnect); with nobody
 // running the arrival is lost, the cluster is unavailable.
@@ -392,6 +476,9 @@ func (e *node) admitArrival(tx workload.Tx) {
 		if e.mpl.QueueLen() >= e.cfg.MaxQueue {
 			if e.warm {
 				e.dropped++
+				if c := e.classOf(tx.Type); c != nil {
+					c.dropped++
+				}
 			}
 			return
 		}
@@ -410,16 +497,25 @@ func (e *node) admitArrival(tx workload.Tx) {
 	case target == nil:
 		if e.warm {
 			e.dropped++
+			if c := e.classOf(tx.Type); c != nil {
+				c.dropped++
+			}
 		}
 	case e.c.shedReroute(target):
 		// The admission controller sheds rerouted overflow instead of
 		// queueing it behind the survivor's backlog.
 		if e.warm {
 			e.shed++
+			if c := e.classOf(tx.Type); c != nil {
+				c.shed++
+			}
 		}
 	case target.mpl.QueueLen() >= target.cfg.MaxQueue:
 		if e.warm {
 			e.dropped++
+			if c := e.classOf(tx.Type); c != nil {
+				c.dropped++
+			}
 		}
 	default:
 		e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
@@ -460,6 +556,10 @@ type txRun struct {
 	// already released and every later continuation must fall through
 	// (pending kernel events cannot be unscheduled).
 	dead bool
+	// done, when non-nil, runs after commit phase 2 releases the MPL slot
+	// — the closed-loop completion hook that puts the submitting terminal
+	// back into its think phase.
+	done func()
 
 	// Pre-bound continuations, one allocation each per transaction.
 	admitted func(sim.Time)
@@ -469,7 +569,13 @@ type txRun struct {
 
 // runTx executes one transaction to commit.
 func (e *node) runTx(p *sim.Process, tx workload.Tx) {
-	t := &txRun{e: e, p: p, tx: tx, arrival: p.Now()}
+	e.runTxNotify(p, tx, nil)
+}
+
+// runTxNotify is runTx with a completion hook: done (when non-nil) runs
+// after the transaction commits and frees its MPL slot.
+func (e *node) runTxNotify(p *sim.Process, tx workload.Tx, done func()) {
+	t := &txRun{e: e, p: p, tx: tx, arrival: p.Now(), done: done}
 	t.admitted = t.onAdmitted
 	t.resume = t.dispatch
 	t.locked = t.onLocked
@@ -568,6 +674,9 @@ func (t *txRun) onFixed() {
 func (t *txRun) abort() {
 	if t.e.warm {
 		t.e.aborts++
+		if c := t.e.classOf(t.tx.Type); c != nil {
+			c.aborts++
+		}
 	}
 	if t.e.c.glocks != nil {
 		t.e.cpuBurst(t.p, t.e.c.instrLockMsg, func() {
@@ -632,8 +741,15 @@ func (t *txRun) finish() {
 		e.resp.Add(t.p.Now() - t.arrival)
 		e.ioWait.Add(t.fixTime)
 		e.recordCommit(t.p.Now())
+		if c := e.classOf(t.tx.Type); c != nil {
+			c.commits++
+			c.resp.Add(t.p.Now() - t.arrival)
+		}
 	}
 	e.mpl.Release()
+	if t.done != nil {
+		t.done()
+	}
 }
 
 // recordCommit adds one committed transaction to the node's availability
@@ -692,6 +808,7 @@ func (e *node) snapshot() {
 	e.baseCPUBusy = e.cpu.BusyIntegral()
 	e.baseInval = e.invalidations
 	e.baseHandoffs = e.dirtyHandoffs
+	e.baseQueueInt = e.mpl.QueueIntegral()
 	e.mpl.ResetPeakQueueLen()
 }
 
@@ -721,18 +838,56 @@ func (e *node) collect() *Result {
 		res.LockWaitMean = e.lockWait.Sum() / float64(e.commits)
 		res.IOWaitMean = e.ioWait.Sum() / float64(e.commits)
 	}
-	// Saturation over the measured window: drops are window-only, and the
-	// peak queue length (not the instantaneous end-of-run length, which a
-	// single lucky drain can hide) marks sustained overload. A crash
-	// replaced the MPL resource, so the pre-crash peak rides along. The
-	// half-MaxQueue threshold rounds up: plain integer division would make
-	// it 0 for MaxQueue <= 1, flagging such configs saturated even when
-	// the queue never forms.
-	peakQueue := e.mpl.PeakQueueLen()
-	if e.peakBeforeCrash > peakQueue {
-		peakQueue = e.peakBeforeCrash
+	// Saturation over the measured window. Open loop: drops are
+	// window-only, and the peak queue length (not the instantaneous
+	// end-of-run length, which a single lucky drain can hide) marks
+	// sustained overload. A crash replaced the MPL resource, so the
+	// pre-crash peak rides along. The half-MaxQueue threshold rounds up:
+	// plain integer division would make it 0 for MaxQueue <= 1, flagging
+	// such configs saturated even when the queue never forms.
+	//
+	// A closed loop can reach neither signal — terminals never drop, and
+	// at most `terminals` transactions exist, usually far below MaxQueue —
+	// so saturation is read off the sustained MPL occupancy instead: the
+	// time-averaged input-queue length over the window, i.e. the mean
+	// number of terminals waiting for an MPL slot. When half the terminal
+	// population queues behind the MPL, response time is dominated by the
+	// queue and adding terminals only adds waiting — the closed-loop
+	// meaning of "offered load exceeds capacity".
+	if e.closedLoop {
+		res.Terminals = e.terminals
+		res.ThinkMS = e.cfg.Arrival.ThinkMS
+		if window > 0 && e.terminals > 0 {
+			meanQueue := (e.mpl.QueueIntegral() - e.baseQueueInt) / window
+			if meanQueue < 0 {
+				meanQueue = 0
+			}
+			res.TerminalWaitFrac = meanQueue / float64(e.terminals)
+		}
+		res.Saturated = res.TerminalWaitFrac >= 0.5
+	} else {
+		peakQueue := e.mpl.PeakQueueLen()
+		if e.peakBeforeCrash > peakQueue {
+			peakQueue = e.peakBeforeCrash
+		}
+		res.Saturated = e.dropped > 0 || peakQueue >= (e.cfg.MaxQueue+1)/2
 	}
-	res.Saturated = e.dropped > 0 || peakQueue >= (e.cfg.MaxQueue+1)/2
+
+	for i := range e.classes {
+		c := &e.classes[i]
+		cr := ClassReport{
+			Name:    c.name,
+			Commits: c.commits,
+			Aborts:  c.aborts,
+			Dropped: c.dropped,
+			Shed:    c.shed,
+		}
+		cr.RespMean = c.resp.Mean()
+		if c.resp.N() > 0 {
+			cr.RespP95 = c.resp.Percentile(0.95)
+		}
+		res.Classes = append(res.Classes, cr)
+	}
 
 	res.Buffer = e.bm.Stats().Sub(e.baseBuf)
 	if e.locks != nil {

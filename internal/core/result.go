@@ -21,6 +21,20 @@ type PartitionReport struct {
 	NVEMHitPct float64
 }
 
+// ClassReport is one transaction class's share of the window metrics,
+// reported only for multi-class generators. Dropped and Shed split the
+// scalar Result counters by class — the scalars stay the aggregate, so
+// single-class runs are unchanged.
+type ClassReport struct {
+	Name     string
+	Commits  int64
+	Aborts   int64
+	Dropped  int64
+	Shed     int64
+	RespMean float64 // ms
+	RespP95  float64 // ms
+}
+
 // UnitReport is one disk-unit's activity over the whole run.
 type UnitReport struct {
 	Name            string
@@ -50,6 +64,16 @@ type Result struct {
 	// Utilization over the measurement window.
 	CPUUtil  float64
 	NVEMUtil float64
+
+	// Per-class breakdown (empty for single-class generators).
+	Classes []ClassReport
+
+	// Closed-loop runs (ArrivalClosedLoop; Terminals > 0 marks one).
+	// TerminalWaitFrac is the mean fraction of terminals waiting for an
+	// MPL slot over the window — the closed-loop saturation signal.
+	Terminals        int
+	ThinkMS          float64
+	TerminalWaitFrac float64
 
 	// Caching.
 	MMHitPct      float64 // main-memory buffer hit ratio (%)
@@ -97,7 +121,15 @@ func (r *Result) Report() string {
 	fmt.Fprintf(&b, "offered load:      %.1f TPS\n", r.OfferedTPS)
 	fmt.Fprintf(&b, "throughput:        %.1f TPS (%d commits, %d aborts, %d dropped)\n",
 		r.Throughput, r.Commits, r.Aborts, r.Dropped)
+	if r.Terminals > 0 {
+		fmt.Fprintf(&b, "closed loop:       %d terminals, %.0f ms think, %.1f%% waiting for MPL\n",
+			r.Terminals, r.ThinkMS, 100*r.TerminalWaitFrac)
+	}
 	fmt.Fprintf(&b, "response time:     %.2f ms mean, %.2f ms p95\n", r.RespMean, r.RespP95)
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "  class %-13s commits=%d aborts=%d dropped=%d shed=%d resp=%.2f ms p95=%.2f ms\n",
+			c.Name, c.Commits, c.Aborts, c.Dropped, c.Shed, c.RespMean, c.RespP95)
+	}
 	fmt.Fprintf(&b, "  lock wait:       %.2f ms/tx\n", r.LockWaitMean)
 	fmt.Fprintf(&b, "  fix (I/O) time:  %.2f ms/tx\n", r.IOWaitMean)
 	fmt.Fprintf(&b, "CPU utilization:   %.1f%%\n", 100*r.CPUUtil)

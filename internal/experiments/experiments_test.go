@@ -12,8 +12,8 @@ var quick = Options{Quick: true}
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 26 {
-		t.Fatalf("registry has %d experiments, want 26", len(all))
+	if len(all) != 30 {
+		t.Fatalf("registry has %d experiments, want 30", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -55,6 +55,10 @@ func TestGoldenOutputs(t *testing.T) {
 		"workload.burstiness":        {"disk", "log-nvem", "db+log-nvem", "burst-state rate multiplier"},
 		"workload.spike-crash":       {"admission-off", "admission-on", "survivor-resp-ms", "shed"},
 		"workload.diurnal":           {"log-single-disk", "log-nvem", "amplitude"},
+		"workload.skew":              {"uniform", "zipf-0.95", "hotspot-90/0.01", "NVEM cache [pages]"},
+		"workload.multiclass":        {"short-update", "read-mostly", "batch-scan", "Per-class accounting"},
+		"workload.closedloop":        {"think-50ms", "think-500ms", "terminals", "waiting for an MPL slot"},
+		"workload.replay":            {"poisson", "trace-replay", "p95-ms"},
 		"cluster.allocation":         {"shared-nvem-cache", "private-nvem-caches", "disk-only"},
 		"cluster.locking":            {"local:page-locks", "global:object-locks", "messages per committed tx"},
 	}

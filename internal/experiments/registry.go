@@ -242,6 +242,50 @@ func All() []Experiment {
 			},
 		},
 		{
+			Name:  "workload.skew",
+			Title: "Access skew (Zipf / hot-spot) vs. NVEM second-level cache size",
+			Run: func(o Options) (string, error) {
+				resp, hits, err := WorkloadSkew(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + hits.Render(), nil
+			},
+		},
+		{
+			Name:  "workload.multiclass",
+			Title: "Multi-class mix: batch scans vs. short updates sharing the buffer",
+			Run: func(o Options) (string, error) {
+				fig, tbl, err := WorkloadMulticlass(o)
+				if err != nil {
+					return "", err
+				}
+				return fig.Render() + "\n" + tbl.Render(), nil
+			},
+		},
+		{
+			Name:  "workload.closedloop",
+			Title: "Closed-loop terminals: response-time knee vs. terminal count",
+			Run: func(o Options) (string, error) {
+				resp, tput, wait, err := WorkloadClosedLoop(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + tput.Render() + "\n" + wait.Render(), nil
+			},
+		},
+		{
+			Name:  "workload.replay",
+			Title: "Recorded rate-timeline replay vs. Poisson at equal mean rate",
+			Run: func(o Options) (string, error) {
+				tbl, err := WorkloadReplay(o)
+				if err != nil {
+					return "", err
+				}
+				return tbl.Render(), nil
+			},
+		},
+		{
 			Name:  "cluster.scaleout",
 			Title: "Multi-node scale-out at fixed aggregate load (shared NVEM vs. disk-only)",
 			Run: func(o Options) (string, error) {

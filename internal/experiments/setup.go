@@ -108,6 +108,9 @@ type DCSetup struct {
 	// Arrival selects the arrival process driving the load (the zero
 	// value is the paper's Poisson process).
 	Arrival workload.ArrivalSpec
+	// Skew is the within-branch account access distribution (the zero
+	// value is the benchmark's uniform draw).
+	Skew workload.AccessSpec
 	// MeasureScale scales the measurement window by the given factor
 	// (the diurnal experiment needs several modulation periods inside the
 	// window); 0 keeps the standard o.windows() length.
@@ -116,7 +119,9 @@ type DCSetup struct {
 
 // Build assembles the engine configuration for the setup.
 func (s DCSetup) Build(o Options) (core.Config, error) {
-	gen, err := workload.NewDebitCredit(workload.DefaultDebitCreditConfig(s.Rate))
+	dcCfg := workload.DefaultDebitCreditConfig(s.Rate)
+	dcCfg.AccountSkew = s.Skew
+	gen, err := workload.NewDebitCredit(dcCfg)
 	if err != nil {
 		return core.Config{}, err
 	}

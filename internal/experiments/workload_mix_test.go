@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSkewKneeVisible pins workload.skew's headline claim: growing the NVEM
+// second-level cache past the hot set buys the hot-spot workload a large
+// response-time drop, while the same growth buys the uniform workload (whose
+// account working set is ~5M pages) far less. The knee is the experiment's
+// reason to exist — if a code change flattens it, the experiment is lying.
+func TestSkewKneeVisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	resp, hits, err := WorkloadSkew(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := func(label string) []float64 {
+		t.Helper()
+		for _, s := range resp.Series {
+			if s.Label == label {
+				return s.Points
+			}
+		}
+		t.Fatalf("series %q missing", label)
+		return nil
+	}
+	uniform, hotspot := byLabel("uniform"), byLabel("hotspot-90/0.01")
+	last := len(resp.X) - 1
+	hotGain := hotspot[0] / hotspot[last]
+	uniGain := uniform[0] / uniform[last]
+	if hotGain < 2 {
+		t.Errorf("hot-spot response only improved %.2fx across the NVEM sweep (%.2f -> %.2f ms); no knee",
+			hotGain, hotspot[0], hotspot[last])
+	}
+	if hotGain < 1.5*uniGain {
+		t.Errorf("hot-spot gain %.2fx not clearly above uniform gain %.2fx: skew not rewarded",
+			hotGain, uniGain)
+	}
+	// At every cache size the skewed workload must respond faster than the
+	// uniform one — its misses are the same, its hits more frequent.
+	for i := range resp.X {
+		if hotspot[i] >= uniform[i] {
+			t.Errorf("at NVEM=%v: hotspot %.2f ms >= uniform %.2f ms", resp.X[i], hotspot[i], uniform[i])
+		}
+	}
+	for _, s := range hits.Series {
+		if s.Label != "hotspot-90/0.01" {
+			continue
+		}
+		if s.Points[last] <= s.Points[0] {
+			t.Errorf("hot-spot NVEM hit ratio did not grow with cache size: %v", s.Points)
+		}
+	}
+}
+
+// TestMulticlassScanInterference pins the mixed-workload story: raising only
+// the batch-scan rate slows the short updates on the shared CPU, and every
+// class appears in the per-class accounting.
+func TestMulticlassScanInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	fig, tbl, err := WorkloadMulticlass(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label != "short-update" {
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last < 1.5*first {
+			t.Errorf("short-update response %.2f -> %.2f ms across the scan sweep; scans cost them nothing",
+				first, last)
+		}
+	}
+	out := tbl.Render()
+	for _, frag := range []string{"short-update", "read-mostly", "batch-scan", "commits"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("per-class table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestClosedLoopKnee pins workload.closedloop's two regimes: with a short
+// think time the largest terminal count sits past the capacity knee (sharply
+// higher response, majority of terminals waiting for an MPL slot), while the
+// long think time stays subcritical with near-linear throughput in N.
+func TestClosedLoopKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	resp, tput, wait, err := WorkloadClosedLoop(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(resp.X) - 1
+	for _, s := range resp.Series {
+		switch s.Label {
+		case "think-50ms":
+			if s.Points[last] < 3*s.Points[0] {
+				t.Errorf("think-50ms response %.2f -> %.2f ms: no knee at N=%v",
+					s.Points[0], s.Points[last], resp.X[last])
+			}
+		case "think-500ms":
+			if s.Points[last] > 3*s.Points[0] {
+				t.Errorf("think-500ms response %.2f -> %.2f ms: long-think series saturated",
+					s.Points[0], s.Points[last])
+			}
+		}
+	}
+	for _, s := range tput.Series {
+		if s.Label != "think-500ms" {
+			continue
+		}
+		// Subcritical closed loop: throughput ~ N/(Z+R); N grows 16x, so
+		// committed TPS must grow nearly as much (allowing queueing losses).
+		if s.Points[last] < 8*s.Points[0] {
+			t.Errorf("think-500ms throughput %.1f -> %.1f TPS over a 16x terminal growth",
+				s.Points[0], s.Points[last])
+		}
+	}
+	if len(wait.Cells) == 0 || wait.Cells[0][len(wait.Cells[0])-1] < 0.5 {
+		t.Errorf("think-50ms terminal-wait fraction at the largest N = %v, want >= 0.5 (saturation rule input)",
+			wait.Cells[0])
+	}
+}
+
+// TestReplayTailAbovePoisson pins workload.replay's point: replaying the
+// recorded (bursty) rate timeline at the same mean rate must not shrink the
+// tail relative to Poisson — the busy buckets cross capacity and queue.
+func TestReplayTailAbovePoisson(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	tbl, err := WorkloadReplay(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: 0 = poisson, 1 = trace-replay; col 1 = p95-ms.
+	poisson, replay := tbl.Cells[0][1], tbl.Cells[1][1]
+	if replay <= poisson {
+		t.Errorf("trace-replay p95 %.1f ms <= poisson %.1f ms: recorded burstiness vanished",
+			replay, poisson)
+	}
+}

@@ -51,8 +51,8 @@ func TestWorkloadExperimentsDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exps) != 3 {
-		t.Fatalf("expected 3 workload experiments, got %d", len(exps))
+	if len(exps) != 7 {
+		t.Fatalf("expected 7 workload experiments, got %d", len(exps))
 	}
 	serial := Options{Quick: true, Seed: 11, Parallelism: 1}
 	parallel := Options{Quick: true, Seed: 11, Parallelism: wideParallelism()}

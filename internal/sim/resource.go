@@ -145,6 +145,14 @@ func (r *Resource) BusyIntegral() float64 {
 	return r.busyInt
 }
 
+// QueueIntegral returns ∫ len(queue) dt over [0, now]; callers can snapshot
+// it to compute the mean wait-queue length over a measurement window (the
+// closed-loop saturation rule does).
+func (r *Resource) QueueIntegral() float64 {
+	r.integrate()
+	return r.queueInt
+}
+
 // Utilization returns the mean fraction of servers busy over [0, now].
 func (r *Resource) Utilization() float64 {
 	r.integrate()

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// accessSpecs enumerates one representative spec per access-distribution
+// family, shared by the property tests below (mirroring arrivalSpecs).
+func accessSpecs() map[string]AccessSpec {
+	return map[string]AccessSpec{
+		"uniform":      {},
+		"zipf":         {Kind: AccessZipf, Theta: 0.8},
+		"zipf-mild":    {Kind: AccessZipf, Theta: 0.3},
+		"hotspot":      {Kind: AccessHotSpot, HotAccessFrac: 0.9, HotDataFrac: 0.01},
+		"hotspot-8020": {Kind: AccessHotSpot, HotAccessFrac: 0.8, HotDataFrac: 0.2},
+	}
+}
+
+// drawMany builds a fresh distribution/stream pair and draws count objects.
+func drawMany(t *testing.T, spec AccessSpec, n int64, count int, seed int64) []int64 {
+	t.Helper()
+	d, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := rng.NewStream(seed, "workload")
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = d.Draw(n, s)
+		if out[i] < 0 || out[i] >= n {
+			t.Fatalf("%v: draw %d = %d outside [0, %d)", spec.Kind, i, out[i], n)
+		}
+	}
+	return out
+}
+
+// TestAccessDistDeterministic pins the determinism contract the parallel
+// experiment harness relies on: a fresh distribution fed a fresh stream of
+// the same seed reproduces the exact draw sequence, regardless of decoy
+// instances (with different parameters and seeds) running in between —
+// memoized constants must stay pure functions of the draw arguments.
+func TestAccessDistDeterministic(t *testing.T) {
+	for name, spec := range accessSpecs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			a := drawMany(t, spec, 100_000, 5_000, 42)
+			drawMany(t, spec, 999, 5_000, 7) // decoy: different n and seed
+			b := drawMany(t, spec, 100_000, 5_000, 42)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("draw %d diverges: %d vs %d", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestUniformMatchesRawInt63n pins the byte-identity contract of the seam
+// extraction: the uniform distribution performs exactly one s.Int63n(n) per
+// draw, so a pre-seam generator and the AccessDist path consume identical
+// stream sequences — which is what keeps every existing golden byte-exact.
+func TestUniformMatchesRawInt63n(t *testing.T) {
+	d, err := (&AccessSpec{}).New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rng.NewStream(99, "workload")
+	b := rng.NewStream(99, "workload")
+	for i := 0; i < 2_000; i++ {
+		n := int64(1 + i%50_000_000)
+		if got, want := d.Draw(n, a), b.Int63n(n); got != want {
+			t.Fatalf("draw %d: Draw %d != raw Int63n %d", i, got, want)
+		}
+	}
+}
+
+// TestZipfRankSlope checks the defining power-law property: the draw
+// frequency of rank r falls off as r^(-Theta). The empirical log-log slope
+// over geometrically spaced rank bins must match -Theta within tolerance.
+func TestZipfRankSlope(t *testing.T) {
+	const (
+		theta = 0.8
+		n     = 100_000
+		count = 2_000_000
+	)
+	draws := drawMany(t, AccessSpec{Kind: AccessZipf, Theta: theta}, n, count, 11)
+	freq := map[int64]int{}
+	for _, d := range draws {
+		freq[d]++
+	}
+	// Geometric bins [2^k, 2^(k+1)) of ranks; the per-rank density inside
+	// each bin estimates f(r) at the bin's geometric center.
+	var xs, ys []float64
+	for lo := int64(1); lo*2 <= n; lo *= 2 {
+		hi := lo * 2
+		total := 0
+		for r := lo; r < hi; r++ {
+			total += freq[r-1] // rank r is object r-1
+		}
+		if total == 0 {
+			continue
+		}
+		density := float64(total) / float64(hi-lo)
+		xs = append(xs, math.Log(math.Sqrt(float64(lo)*float64(hi))))
+		ys = append(ys, math.Log(density))
+	}
+	if len(xs) < 5 {
+		t.Fatalf("only %d usable bins", len(xs))
+	}
+	slope := fitSlope(xs, ys)
+	if math.Abs(slope-(-theta)) > 0.08 {
+		t.Errorf("rank-frequency slope = %.3f, want %.3f ± 0.08", slope, -theta)
+	}
+	// And the skew must be real: rank 1 alone far above uniform share.
+	if f := float64(freq[0]) / count; f < 20.0/n {
+		t.Errorf("rank-1 frequency %.5f barely above uniform 1/n", f)
+	}
+}
+
+// fitSlope is the least-squares slope of y over x.
+func fitSlope(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	k := float64(len(xs))
+	return (k*sxy - sx*sy) / (k*sxx - sx*sx)
+}
+
+// TestHotSpotMassSplit checks the p/q contract: HotAccessFrac of the draws
+// land in the first HotDataFrac·n objects, uniformly within each region.
+func TestHotSpotMassSplit(t *testing.T) {
+	const (
+		p     = 0.9
+		q     = 0.01
+		n     = 200_000
+		count = 500_000
+	)
+	spec := AccessSpec{Kind: AccessHotSpot, HotAccessFrac: p, HotDataFrac: q}
+	draws := drawMany(t, spec, n, count, 23)
+	hotSize := int64(q * n)
+	hot := 0
+	var hotSum, coldSum float64
+	for _, d := range draws {
+		if d < hotSize {
+			hot++
+			hotSum += float64(d)
+		} else {
+			coldSum += float64(d)
+		}
+	}
+	if frac := float64(hot) / count; math.Abs(frac-p) > 0.005 {
+		t.Errorf("hot-set mass %.4f, want %.2f ± 0.005", frac, p)
+	}
+	// Uniformity within each region: the mean draw sits at the region's
+	// midpoint (±2% of the region width).
+	if mid := float64(hotSize-1) / 2; math.Abs(hotSum/float64(hot)-mid) > 0.02*float64(hotSize) {
+		t.Errorf("hot-region mean %.1f, want %.1f", hotSum/float64(hot), mid)
+	}
+	coldMid := float64(hotSize) + float64(n-hotSize-1)/2
+	if math.Abs(coldSum/float64(count-hot)-coldMid) > 0.02*float64(n-hotSize) {
+		t.Errorf("cold-region mean %.1f, want %.1f", coldSum/float64(count-hot), coldMid)
+	}
+}
+
+// TestZipfConcentration sanity-checks the headline cache property the skew
+// experiment banks on: at Theta=0.8, a small head of the object space
+// absorbs a large share of the accesses.
+func TestZipfConcentration(t *testing.T) {
+	const n = 50_000
+	draws := drawMany(t, AccessSpec{Kind: AccessZipf, Theta: 0.8}, n, 500_000, 5)
+	sorted := append([]int64(nil), draws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Share of draws landing in the first 10% of the object space.
+	idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= n/10 })
+	if share := float64(idx) / float64(len(sorted)); share < 0.55 {
+		t.Errorf("top-10%% object share = %.3f, want >= 0.55 at theta 0.8", share)
+	}
+}
+
+// TestAccessDistSmallN covers the degenerate sizes: every family must stay
+// in range (and keep drawing from the stream) for n = 1 and n = 2.
+func TestAccessDistSmallN(t *testing.T) {
+	for name, spec := range accessSpecs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int64{1, 2} {
+				drawMany(t, spec, n, 100, 3)
+			}
+		})
+	}
+}
+
+// TestAccessSpecValidate covers the parameter constraints of each family.
+func TestAccessSpecValidate(t *testing.T) {
+	bad := []AccessSpec{
+		{Kind: AccessKind(99)},
+		{Kind: AccessZipf, Theta: 0},
+		{Kind: AccessZipf, Theta: 1},
+		{Kind: AccessZipf, Theta: -0.5},
+		{Kind: AccessHotSpot, HotAccessFrac: 0.9, HotDataFrac: 0},
+		{Kind: AccessHotSpot, HotAccessFrac: 0.9, HotDataFrac: 1},
+		{Kind: AccessHotSpot, HotAccessFrac: 0.05, HotDataFrac: 0.2}, // colder than uniform
+		{Kind: AccessHotSpot, HotAccessFrac: 1, HotDataFrac: 0.1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d (%+v): Validate accepted an invalid spec", i, spec)
+		}
+		if _, err := spec.New(); err == nil {
+			t.Errorf("spec %d (%+v): New accepted an invalid spec", i, spec)
+		}
+	}
+	good := []AccessSpec{
+		{},
+		{Kind: AccessZipf, Theta: 0.99},
+		{Kind: AccessHotSpot, HotAccessFrac: 0.2, HotDataFrac: 0.2}, // uniform edge
+	}
+	for i, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("spec %d (%+v): Validate rejected a valid spec: %v", i, spec, err)
+		}
+	}
+}
+
+// TestAccessKindString keeps the kind names in sync with the CLI's JSON
+// vocabulary.
+func TestAccessKindString(t *testing.T) {
+	want := map[AccessKind]string{
+		AccessUniform: "uniform",
+		AccessZipf:    "zipf",
+		AccessHotSpot: "hotspot",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	if AccessKind(42).String() != "AccessKind(42)" {
+		t.Errorf("unknown kind renders %q", AccessKind(42).String())
+	}
+}

@@ -41,6 +41,17 @@ const (
 	// alignable with a cluster failure injection so the spike lands
 	// mid-recovery.
 	ArrivalSpike
+	// ArrivalClosedLoop replaces the rate clock with N terminals: each
+	// terminal thinks for an exponential time, submits one transaction,
+	// and thinks again when it completes. There is no interarrival
+	// process — the engine drives arrivals from completions — so
+	// NewProcess rejects this kind; the configured rate is ignored.
+	ArrivalClosedLoop
+	// ArrivalReplay modulates a Poisson process by a recorded rate
+	// timeline: piecewise-constant multipliers over fixed-width buckets,
+	// cycled past the end. trace.LoadTimeline derives such a timeline
+	// from a recorded trace.
+	ArrivalReplay
 )
 
 func (k ArrivalKind) String() string {
@@ -53,6 +64,10 @@ func (k ArrivalKind) String() string {
 		return "diurnal"
 	case ArrivalSpike:
 		return "spike"
+	case ArrivalClosedLoop:
+		return "closedloop"
+	case ArrivalReplay:
+		return "replay"
 	default:
 		return fmt.Sprintf("ArrivalKind(%d)", int(k))
 	}
@@ -93,6 +108,21 @@ type ArrivalSpec struct {
 	SpikeFactor float64
 	SpikeAtMS   float64
 	SpikeDurMS  float64
+
+	// Closed loop (Kind == ArrivalClosedLoop): Terminals emulated users
+	// per arrival stream, each thinking for an exponential time with mean
+	// ThinkMS between its transactions. ThinkMS must be positive — a
+	// zero think time would let a terminal resubmit at the same simulated
+	// instant forever.
+	Terminals int
+	ThinkMS   float64
+
+	// Replay (Kind == ArrivalReplay): the rate is multiplied by
+	// RateMultipliers[i] over the i-th RateBucketMS-wide bucket past the
+	// origin, cycling once the timeline is exhausted. Multipliers should
+	// average 1 so the configured rate stays the long-run mean.
+	RateBucketMS    float64
+	RateMultipliers []float64
 }
 
 // Validate checks the spec's parameters for its kind.
@@ -129,6 +159,27 @@ func (a *ArrivalSpec) Validate() error {
 			return fmt.Errorf("workload: spike SpikeAtMS = %v", a.SpikeAtMS)
 		case a.SpikeDurMS <= 0:
 			return fmt.Errorf("workload: spike SpikeDurMS = %v", a.SpikeDurMS)
+		}
+		return nil
+	case ArrivalClosedLoop:
+		switch {
+		case a.Terminals <= 0:
+			return fmt.Errorf("workload: closed loop Terminals = %d", a.Terminals)
+		case a.ThinkMS <= 0:
+			return fmt.Errorf("workload: closed loop ThinkMS = %v, want > 0", a.ThinkMS)
+		}
+		return nil
+	case ArrivalReplay:
+		switch {
+		case a.RateBucketMS <= 0:
+			return fmt.Errorf("workload: replay RateBucketMS = %v", a.RateBucketMS)
+		case len(a.RateMultipliers) == 0:
+			return fmt.Errorf("workload: replay needs at least one rate multiplier")
+		}
+		for i, m := range a.RateMultipliers {
+			if m <= 0 {
+				return fmt.Errorf("workload: replay RateMultipliers[%d] = %v", i, m)
+			}
 		}
 		return nil
 	default:
@@ -173,6 +224,15 @@ func (a *ArrivalSpec) NewProcess(rate, originMS float64) (ArrivalProcess, error)
 			PeriodMS:  a.PeriodMS,
 			PhaseRad:  a.PhaseRad,
 			OriginMS:  originMS,
+		}, nil
+	case ArrivalClosedLoop:
+		return nil, fmt.Errorf("workload: closed loop has no interarrival process (the engine drives arrivals from completions)")
+	case ArrivalReplay:
+		return &Replay{
+			MeanGapMS:   meanGap,
+			BucketMS:    a.RateBucketMS,
+			Multipliers: append([]float64(nil), a.RateMultipliers...),
+			OriginMS:    originMS,
 		}, nil
 	default: // ArrivalSpike
 		return &Spike{
@@ -279,4 +339,26 @@ func (sp *Spike) NextGapMS(now float64, s *rng.Stream) float64 {
 		gap /= sp.Factor
 	}
 	return s.Exp(gap)
+}
+
+// Replay modulates a Poisson process by a recorded rate timeline:
+// piecewise-constant multipliers over BucketMS-wide buckets past OriginMS,
+// cycled once the timeline is exhausted (times before the origin — i.e.
+// warmup — use the first bucket). Like Diurnal, each gap is exponential at
+// the rate holding at the previous arrival, the slowly-varying
+// approximation of the inhomogeneous Poisson process.
+type Replay struct {
+	MeanGapMS   float64
+	BucketMS    float64
+	Multipliers []float64
+	OriginMS    float64
+}
+
+// NextGapMS implements ArrivalProcess.
+func (r *Replay) NextGapMS(now float64, s *rng.Stream) float64 {
+	bucket := 0
+	if now > r.OriginMS {
+		bucket = int((now-r.OriginMS)/r.BucketMS) % len(r.Multipliers)
+	}
+	return s.Exp(r.MeanGapMS / r.Multipliers[bucket])
 }

@@ -18,6 +18,10 @@ func arrivalSpecs() map[string]ArrivalSpec {
 		"diurnal": {Kind: ArrivalDiurnal, Amplitude: 0.9, PeriodMS: 20_000},
 		"spike": {Kind: ArrivalSpike, SpikeFactor: 5, SpikeAtMS: 10_000,
 			SpikeDurMS: 5_000},
+		// Multipliers average 1 over the cycle, so the mean-rate test's
+		// expectation applies unchanged.
+		"replay": {Kind: ArrivalReplay, RateBucketMS: 5_000,
+			RateMultipliers: []float64{0.5, 1.5, 0.25, 1.75}},
 	}
 }
 
@@ -173,6 +177,12 @@ func TestArrivalSpecValidate(t *testing.T) {
 		{Kind: ArrivalSpike, SpikeFactor: 0, SpikeDurMS: 1},
 		{Kind: ArrivalSpike, SpikeFactor: 2, SpikeDurMS: 0},
 		{Kind: ArrivalSpike, SpikeFactor: 2, SpikeAtMS: -1, SpikeDurMS: 1},
+		{Kind: ArrivalClosedLoop, Terminals: 0, ThinkMS: 100},
+		{Kind: ArrivalClosedLoop, Terminals: 10, ThinkMS: 0},
+		{Kind: ArrivalClosedLoop, Terminals: 10, ThinkMS: -5},
+		{Kind: ArrivalReplay, RateBucketMS: 0, RateMultipliers: []float64{1}},
+		{Kind: ArrivalReplay, RateBucketMS: 100},
+		{Kind: ArrivalReplay, RateBucketMS: 100, RateMultipliers: []float64{1, 0}},
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
@@ -184,6 +194,8 @@ func TestArrivalSpecValidate(t *testing.T) {
 		{Kind: ArrivalMMPP, BurstFactor: 1, BurstFrac: 0.5},
 		{Kind: ArrivalDiurnal, Amplitude: 0, PeriodMS: 1},
 		{Kind: ArrivalSpike, SpikeFactor: 0.5, SpikeDurMS: 1}, // a dip is a valid "spike"
+		{Kind: ArrivalClosedLoop, Terminals: 1, ThinkMS: 0.1},
+		{Kind: ArrivalReplay, RateBucketMS: 100, RateMultipliers: []float64{1}},
 	}
 	for i, spec := range good {
 		if err := spec.Validate(); err != nil {
@@ -196,16 +208,62 @@ func TestArrivalSpecValidate(t *testing.T) {
 	if _, err := (&ArrivalSpec{Kind: ArrivalMMPP}).NewProcess(100, 0); err == nil {
 		t.Error("NewProcess accepted an invalid spec")
 	}
+	// A closed loop has no interarrival process: the engine must branch on
+	// the kind instead of instantiating one.
+	if _, err := (&ArrivalSpec{Kind: ArrivalClosedLoop, Terminals: 4, ThinkMS: 100}).NewProcess(100, 0); err == nil {
+		t.Error("NewProcess built a process for a closed-loop spec")
+	}
+}
+
+// TestReplayBucketsAnchored checks the replay timeline: bucket i's
+// multiplier holds over [origin + i·width, origin + (i+1)·width), the
+// timeline cycles past its end, and pre-origin times (warm-up) use the
+// first bucket.
+func TestReplayBucketsAnchored(t *testing.T) {
+	spec := ArrivalSpec{Kind: ArrivalReplay, RateBucketMS: 1_000,
+		RateMultipliers: []float64{2, 0.5}}
+	ap, err := spec.NewProcess(100, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := ap.(*Replay)
+	if !ok {
+		t.Fatalf("got %T, want *Replay", ap)
+	}
+	mean := 1000.0 / 100
+	// The stream pairs draw identical exponentials, so the modulation is
+	// exactly observable as the ratio of the two gaps.
+	a := rng.NewStream(3, "arrivals")
+	b := rng.NewStream(3, "arrivals")
+	for _, tc := range []struct {
+		now  float64
+		mult float64
+	}{
+		{0, 2},        // before origin: first bucket
+		{4_500, 2},    // bucket 0
+		{5_500, 0.5},  // bucket 1
+		{6_500, 2},    // cycled back to bucket 0
+		{12_100, 2},   // several cycles later
+		{13_999, 0.5}, // end of an odd bucket
+	} {
+		got := r.NextGapMS(tc.now, a)
+		want := b.Exp(mean / tc.mult)
+		if got != want {
+			t.Errorf("t=%v: gap %v, want %v (multiplier %v)", tc.now, got, want, tc.mult)
+		}
+	}
 }
 
 // TestArrivalKindString keeps the kind names in sync with the CLI's JSON
 // vocabulary.
 func TestArrivalKindString(t *testing.T) {
 	want := map[ArrivalKind]string{
-		ArrivalPoisson: "poisson",
-		ArrivalMMPP:    "mmpp",
-		ArrivalDiurnal: "diurnal",
-		ArrivalSpike:   "spike",
+		ArrivalPoisson:    "poisson",
+		ArrivalMMPP:       "mmpp",
+		ArrivalDiurnal:    "diurnal",
+		ArrivalSpike:      "spike",
+		ArrivalClosedLoop: "closedloop",
+		ArrivalReplay:     "replay",
 	}
 	for k, name := range want {
 		if k.String() != name {

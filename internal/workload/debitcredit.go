@@ -37,6 +37,13 @@ type DebitCreditConfig struct {
 	// page, reducing page accesses per transaction from four to three.
 	ClusterBranchTeller bool
 
+	// AccountSkew is the access distribution of the within-branch account
+	// draw (the zero value is uniform, the benchmark's definition). Skew is
+	// applied inside the selected branch, preserving the K% home-branch
+	// correlation: the hot set is the first accounts of every branch, i.e.
+	// HotDataFrac × (accounts/branch) ÷ block factor hot pages per branch.
+	AccountSkew AccessSpec
+
 	ArrivalRate float64 // transactions per second
 }
 
@@ -73,7 +80,7 @@ func (c *DebitCreditConfig) Validate() error {
 	case c.ArrivalRate < 0:
 		return fmt.Errorf("workload: debit-credit: ArrivalRate = %v", c.ArrivalRate)
 	}
-	return nil
+	return c.AccountSkew.Validate()
 }
 
 // DebitCredit generates the Debit-Credit workload: a single transaction type
@@ -84,6 +91,7 @@ type DebitCredit struct {
 	cfg         DebitCreditConfig
 	partitions  []Partition
 	accPerBr    int64
+	accDist     AccessDist
 	historyTail int64
 	historyPart int
 }
@@ -94,6 +102,10 @@ func NewDebitCredit(cfg DebitCreditConfig) (*DebitCredit, error) {
 		return nil, err
 	}
 	g := &DebitCredit{cfg: cfg, accPerBr: cfg.NumAccounts / cfg.NumBranches}
+	var err error
+	if g.accDist, err = cfg.AccountSkew.New(); err != nil {
+		return nil, err
+	}
 
 	account := Partition{
 		Name:        "ACCOUNT",
@@ -152,16 +164,18 @@ func (g *DebitCredit) Next(_ int, s *rng.Stream) Tx {
 	branch := s.Int63n(c.NumBranches)
 	teller := s.Int63n(c.TellersPerBranch)
 
-	// ACCOUNT: with probability K it belongs to the selected branch.
+	// ACCOUNT: with probability K it belongs to the selected branch; the
+	// within-branch account is drawn from the configured access
+	// distribution (uniform by default).
 	var account int64
 	if s.Bool(c.HomeAccountProb) || c.NumBranches == 1 {
-		account = branch*g.accPerBr + s.Int63n(g.accPerBr)
+		account = branch*g.accPerBr + g.accDist.Draw(g.accPerBr, s)
 	} else {
 		other := s.Int63n(c.NumBranches - 1)
 		if other >= branch {
 			other++
 		}
-		account = other*g.accPerBr + s.Int63n(g.accPerBr)
+		account = other*g.accPerBr + g.accDist.Draw(g.accPerBr, s)
 	}
 
 	// HISTORY: append at end of file.

@@ -196,3 +196,38 @@ func TestDebitCreditTypeInfo(t *testing.T) {
 		t.Fatalf("TypeInfo = %q, %v", name, rate)
 	}
 }
+
+// TestDebitCreditAccountSkew: the AccountSkew spec applies to the
+// within-branch account draw, so the hot set is the first accounts of every
+// branch — the K% home-branch correlation must survive unchanged.
+func TestDebitCreditAccountSkew(t *testing.T) {
+	cfg := DefaultDebitCreditConfig(500)
+	cfg.NumAccounts = 5_000_000
+	cfg.AccountSkew = AccessSpec{Kind: AccessHotSpot, HotAccessFrac: 0.9, HotDataFrac: 0.01}
+	g, err := NewDebitCredit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.NewStream(17, "dc")
+	accPerBr := cfg.NumAccounts / cfg.NumBranches
+	hotPerBr := int64(0.01 * float64(accPerBr))
+	hot, n := 0, 50_000
+	for i := 0; i < n; i++ {
+		tx := g.Next(0, s)
+		if within := tx.Accesses[0].Object % accPerBr; within < hotPerBr {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(n); math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("hot within-branch fraction = %v, want ~0.9", frac)
+	}
+}
+
+// TestDebitCreditRejectsBadSkew: an invalid AccountSkew fails construction.
+func TestDebitCreditRejectsBadSkew(t *testing.T) {
+	cfg := DefaultDebitCreditConfig(100)
+	cfg.AccountSkew = AccessSpec{Kind: AccessZipf, Theta: 1.5}
+	if _, err := NewDebitCredit(cfg); err == nil {
+		t.Fatal("invalid AccountSkew accepted")
+	}
+}

@@ -57,6 +57,10 @@ type Partition struct {
 	BlockFactor int // objects per page
 	// Subpartitions implement the generalized b/c rule. Empty means uniform.
 	Subpartitions []Subpartition
+	// Access is the object-draw distribution inside the partition (the zero
+	// value is uniform). Mutually exclusive with Subpartitions — the b/c
+	// rule already defines the skew.
+	Access AccessSpec
 	// Sequential marks append-only partitions (e.g. Debit-Credit HISTORY):
 	// every access goes to the current end of file.
 	Sequential bool
@@ -71,13 +75,24 @@ func (p *Partition) NumPages() int64 {
 	return (p.NumObjects + bf - 1) / bf
 }
 
-// PageOf maps an object number to its page number.
+// PageOf maps an object number to its page number. Object numbers outside
+// [0, NumObjects) wrap onto the valid page range: Sequential (append-only)
+// partitions hand PageOf their raw append cursor, which exceeds NumObjects
+// once the file has been filled and cycled — without the wrap that mapped
+// to pages past NumPages()-1, i.e. pages no device allocation contains.
 func (p *Partition) PageOf(object int64) int64 {
 	bf := int64(p.BlockFactor)
 	if bf <= 0 {
 		bf = 1
 	}
-	return object / bf
+	page := object / bf
+	if np := p.NumPages(); page >= np || page < 0 {
+		page %= np
+		if page < 0 {
+			page += np
+		}
+	}
+	return page
 }
 
 // Validate checks partition consistency: positive size and block factor,
@@ -89,8 +104,14 @@ func (p *Partition) Validate() error {
 	if p.BlockFactor <= 0 {
 		return fmt.Errorf("workload: partition %q: BlockFactor = %d", p.Name, p.BlockFactor)
 	}
+	if err := p.Access.Validate(); err != nil {
+		return fmt.Errorf("workload: partition %q: %w", p.Name, err)
+	}
 	if len(p.Subpartitions) == 0 {
 		return nil
+	}
+	if p.Access.Kind != AccessUniform {
+		return fmt.Errorf("workload: partition %q: Access skew and Subpartitions are mutually exclusive", p.Name)
 	}
 	sizeSum, probSum := 0.0, 0.0
 	for i, sp := range p.Subpartitions {

@@ -101,3 +101,55 @@ func TestPageOfBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: a Sequential (append-only) partition hands PageOf its raw
+// append cursor, which exceeds NumObjects once the file has been filled and
+// cycled. The unclamped mapping object/blockFactor then named pages past
+// NumPages()-1 — pages no device allocation contains. Out-of-range objects
+// must wrap onto the valid page range.
+func TestPageOfSequentialOverflowClamped(t *testing.T) {
+	p := Partition{Name: "HISTORY", NumObjects: 100, BlockFactor: 20, Sequential: true}
+	if np := p.NumPages(); np != 5 {
+		t.Fatalf("NumPages = %d, want 5", np)
+	}
+	// The boundary case that escaped: the first object past the end.
+	if page := p.PageOf(100); page < 0 || page >= 5 {
+		t.Fatalf("PageOf(100) = %d, outside [0, 5): append cursor past NumObjects unclamped", page)
+	}
+	// Any cursor position, arbitrarily far past the end, stays in range
+	// and keeps advancing page-by-page every BlockFactor objects.
+	for cursor := int64(0); cursor < 1_000; cursor++ {
+		page := p.PageOf(cursor)
+		if page < 0 || page >= 5 {
+			t.Fatalf("PageOf(%d) = %d, outside [0, 5)", cursor, page)
+		}
+		if want := (cursor / 20) % 5; page != want {
+			t.Fatalf("PageOf(%d) = %d, want wrap-around page %d", cursor, page, want)
+		}
+	}
+	// Negative objects (a buggy caller) must not produce negative pages.
+	if page := p.PageOf(-1); page < 0 || page >= 5 {
+		t.Fatalf("PageOf(-1) = %d, outside [0, 5)", page)
+	}
+}
+
+// TestPartitionAccessValidation: the per-partition access spec is validated
+// with the partition, and skew is mutually exclusive with subpartitions.
+func TestPartitionAccessValidation(t *testing.T) {
+	bad := Partition{Name: "p", NumObjects: 100, BlockFactor: 10,
+		Access: AccessSpec{Kind: AccessZipf, Theta: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid Access spec accepted")
+	}
+	both := Partition{Name: "p", NumObjects: 100, BlockFactor: 10,
+		Subpartitions: BCRule(0.8, 0.2),
+		Access:        AccessSpec{Kind: AccessZipf, Theta: 0.8}}
+	if err := both.Validate(); err == nil {
+		t.Error("Access skew + Subpartitions accepted")
+	}
+	ok := Partition{Name: "p", NumObjects: 100, BlockFactor: 10,
+		Access: AccessSpec{Kind: AccessHotSpot, HotAccessFrac: 0.9, HotDataFrac: 0.1}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid skewed partition rejected: %v", err)
+	}
+}

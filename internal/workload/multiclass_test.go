@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestClassMixModel: the standard mix builds a valid model whose generator
+// emits each class against the right partitions.
+func TestClassMixModel(t *testing.T) {
+	m, err := ClassMixModel(DefaultClassMix(100, 20, 2), AccessSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewSynthetic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTypes() != 3 {
+		t.Fatalf("NumTypes = %d, want 3", g.NumTypes())
+	}
+	name, rate := g.TypeInfo(2)
+	if name != "batch-scan" || rate != 2 {
+		t.Fatalf("TypeInfo(2) = %q/%v, want batch-scan/2", name, rate)
+	}
+	s := rng.NewStream(9, "workload")
+	// Batch scans walk consecutive ORDERS objects, read-only.
+	tx := g.Next(2, s)
+	if len(tx.Accesses) != 400 {
+		t.Fatalf("scan size %d, want 400", len(tx.Accesses))
+	}
+	for i, a := range tx.Accesses {
+		if a.Partition != 1 {
+			t.Fatalf("scan access %d in partition %d, want ORDERS(1)", i, a.Partition)
+		}
+		if a.Write {
+			t.Fatalf("scan access %d is a write", i)
+		}
+	}
+	// Short updates mostly write.
+	writes, total := 0, 0
+	for i := 0; i < 500; i++ {
+		for _, a := range g.Next(0, s).Accesses {
+			total++
+			if a.Write {
+				writes++
+			}
+		}
+	}
+	if frac := float64(writes) / float64(total); frac < 0.7 || frac > 0.9 {
+		t.Fatalf("short-update write fraction %v, want ~0.8", frac)
+	}
+}
+
+// TestClassMixSkewApplied: a CUSTOMER hot-spot spec reaches the synthetic
+// generator's object draw.
+func TestClassMixSkewApplied(t *testing.T) {
+	skew := AccessSpec{Kind: AccessHotSpot, HotAccessFrac: 0.95, HotDataFrac: 0.01}
+	m, err := ClassMixModel(DefaultClassMix(100, 0, 0), skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewSynthetic(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.NewStream(4, "workload")
+	hotSize := int64(0.01 * float64(ClassMixCustomerObjects))
+	hot, n := 0, 0
+	for i := 0; i < 3_000; i++ {
+		for _, a := range g.Next(0, s).Accesses {
+			if a.Partition != 0 {
+				continue
+			}
+			n++
+			if a.Object < hotSize {
+				hot++
+			}
+		}
+	}
+	if frac := float64(hot) / float64(n); frac < 0.9 {
+		t.Fatalf("hot CUSTOMER fraction %v, want ~0.95", frac)
+	}
+}
+
+// TestClassMixValidation: empty class lists and invalid specs are rejected.
+func TestClassMixValidation(t *testing.T) {
+	if _, err := ClassMixModel(nil, AccessSpec{}); err == nil {
+		t.Error("empty class list accepted")
+	}
+	if _, err := ClassMixModel([]ClassSpec{{Name: "x", Rate: 1, Size: 0}}, AccessSpec{}); err == nil {
+		t.Error("zero-size class accepted")
+	}
+	if _, err := ClassMixModel(DefaultClassMix(1, 1, 1),
+		AccessSpec{Kind: AccessZipf, Theta: 7}); err == nil {
+		t.Error("invalid skew accepted")
+	}
+}

@@ -15,6 +15,7 @@ type Synthetic struct {
 	model *Model
 
 	refDist []*rng.Discrete // per tx type: partition choice
+	objDist []AccessDist    // per partition: object draw (Partition.Access)
 	spDist  []*rng.Discrete // per partition: subpartition choice (nil = uniform)
 	// spBase[p][k] is the first object of subpartition k of partition p;
 	// spSize[p][k] its object count.
@@ -33,10 +34,18 @@ func NewSynthetic(m *Model) (*Synthetic, error) {
 	g := &Synthetic{
 		model:   m,
 		refDist: make([]*rng.Discrete, len(m.TxTypes)),
+		objDist: make([]AccessDist, len(m.Partitions)),
 		spDist:  make([]*rng.Discrete, len(m.Partitions)),
 		spBase:  make([][]int64, len(m.Partitions)),
 		spSize:  make([][]int64, len(m.Partitions)),
 		seqTail: make([]int64, len(m.Partitions)),
+	}
+	for p := range m.Partitions {
+		d, err := m.Partitions[p].Access.New()
+		if err != nil {
+			return nil, err
+		}
+		g.objDist[p] = d
 	}
 	for i := range m.TxTypes {
 		d, err := rng.NewDiscrete(m.TxTypes[i].RefRow)
@@ -103,7 +112,7 @@ func (g *Synthetic) pickObject(p int, s *rng.Stream) int64 {
 		return obj
 	}
 	if g.spDist[p] == nil {
-		return s.Int63n(part.NumObjects)
+		return g.objDist[p].Draw(part.NumObjects, s)
 	}
 	k := g.spDist[p].Sample(s)
 	return g.spBase[p][k] + s.Int63n(g.spSize[p][k])

@@ -160,6 +160,45 @@ type (
 	DebitCreditConfig = workload.DebitCreditConfig
 )
 
+// Access distributions (object-selection skew).
+type (
+	// AccessSpec describes an object access distribution; the zero value is
+	// the uniform draw of the paper's evaluation.
+	AccessSpec = workload.AccessSpec
+	// AccessDist draws object numbers under an AccessSpec.
+	AccessDist = workload.AccessDist
+	// AccessKind selects the access-distribution family of an AccessSpec.
+	AccessKind = workload.AccessKind
+)
+
+// Access-distribution families.
+const (
+	AccessUniform = workload.AccessUniform
+	AccessZipf    = workload.AccessZipf
+	AccessHotSpot = workload.AccessHotSpot
+)
+
+// Multi-class transaction mixes.
+type (
+	// ClassSpec describes one transaction class of the standard mix.
+	ClassSpec = workload.ClassSpec
+	// ClassReport is one class's share of a Result's accounting.
+	ClassReport = core.ClassReport
+)
+
+// ClassMixModel builds the standard two-partition multi-class model from a
+// class list; skew applies to the CUSTOMER draws of the random classes.
+func ClassMixModel(classes []ClassSpec, skew AccessSpec) (*Model, error) {
+	return workload.ClassMixModel(classes, skew)
+}
+
+// DefaultClassMix returns the conventional three-class TPC-C-style mix
+// (short updates, long read-mostly queries, batch scans) at the given
+// per-class arrival rates.
+func DefaultClassMix(updateTPS, readTPS, scanTPS float64) []ClassSpec {
+	return workload.DefaultClassMix(updateTPS, readTPS, scanTPS)
+}
+
 // Arrival processes (the pluggable interarrival layer).
 type (
 	// ArrivalProcess generates the interarrival gaps of one arrival stream.
@@ -173,10 +212,12 @@ type (
 
 // Arrival-process families.
 const (
-	ArrivalPoisson = workload.ArrivalPoisson
-	ArrivalMMPP    = workload.ArrivalMMPP
-	ArrivalDiurnal = workload.ArrivalDiurnal
-	ArrivalSpike   = workload.ArrivalSpike
+	ArrivalPoisson    = workload.ArrivalPoisson
+	ArrivalMMPP       = workload.ArrivalMMPP
+	ArrivalDiurnal    = workload.ArrivalDiurnal
+	ArrivalSpike      = workload.ArrivalSpike
+	ArrivalClosedLoop = workload.ArrivalClosedLoop
+	ArrivalReplay     = workload.ArrivalReplay
 )
 
 // NewSynthetic builds the general synthetic workload generator.
@@ -227,3 +268,9 @@ func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
 
 // ReadTrace parses and validates a trace in the TPSIM-TRACE format.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// LoadTimeline folds a trace's reference volume into buckets normalized rate
+// multipliers (mean 1), ready for an ArrivalReplay spec's RateMultipliers.
+func LoadTimeline(tr *Trace, buckets int) ([]float64, error) {
+	return trace.LoadTimeline(tr, buckets)
+}
