@@ -1,0 +1,98 @@
+// Command detlint is the determinism-contract linter: it statically rejects
+// the nondeterminism bug classes that golden byte-identity depends on
+// (wall-clock reads, global math/rand, order-leaking map iteration, raw
+// goroutines outside the sanctioned seams, order-dependent float sums).
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...
+//	go run ./cmd/detlint -list
+//	go run ./cmd/detlint -rules maporder,floatsum ./internal/core
+//	go run ./cmd/detlint -scope=all ./internal/analysis/testdata/seeded
+//
+// Patterns are module-root-relative package directories; "./..." walks the
+// whole module (testdata excluded, like the go tool). Explicit patterns may
+// point inside testdata — that is how CI asserts the seeded-violation
+// fixture still trips the gate. Exit status: 0 clean, 1 diagnostics found,
+// 2 usage or load error. Diagnostics print as "file:line: rule: message" in
+// a stable order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scope := fs.String("scope", "sim", "rule scoping: \"sim\" applies each rule to its contracted packages; \"all\" forces every rule on every loaded package")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scope != "sim" && *scope != "all" {
+		fmt.Fprintf(stderr, "detlint: bad -scope %q (want sim or all)\n", *scope)
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *rules != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "detlint: unknown rule %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers, *scope == "all") {
+			fmt.Fprintln(stdout, d)
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(stderr, "detlint: %d diagnostic(s)\n", count)
+		return 1
+	}
+	return 0
+}

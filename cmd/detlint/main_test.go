@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runDetlint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestTreeIsClean is the repo's own gate: the full module must lint clean.
+// Every violation is either fixed or carries a reasoned //detlint:allow.
+func TestTreeIsClean(t *testing.T) {
+	code, stdout, stderr := runDetlint(t, "./...")
+	if code != 0 {
+		t.Fatalf("detlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("detlint ./... produced output on success:\n%s", stdout)
+	}
+}
+
+// TestSeededViolationCaught is the gate's self-test: the committed fixture
+// with known violations must always be reported with a nonzero exit, so an
+// analyzer regression cannot silently disarm CI.
+func TestSeededViolationCaught(t *testing.T) {
+	code, stdout, _ := runDetlint(t, "-scope=all", "./internal/analysis/testdata/seeded")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, stdout)
+	}
+	for _, rule := range []string{"walltime", "rngstream", "maporder", "rawgo", "floatsum"} {
+		if !strings.Contains(stdout, " "+rule+": ") {
+			t.Errorf("seeded fixture output missing rule %q:\n%s", rule, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "internal/analysis/testdata/seeded/seeded.go:") {
+		t.Errorf("diagnostics should use module-relative file:line form:\n%s", stdout)
+	}
+}
+
+// TestSeededOutsideDefaultWalk: ./... must not descend into testdata, or
+// the seeded violations would fail the clean-tree gate.
+func TestSeededOutsideDefaultWalk(t *testing.T) {
+	code, stdout, _ := runDetlint(t, "-rules", "rngstream", "./...")
+	if code != 0 || stdout != "" {
+		t.Fatalf("./... descended into testdata: exit %d\n%s", code, stdout)
+	}
+}
+
+func TestRuleSubset(t *testing.T) {
+	code, stdout, _ := runDetlint(t, "-rules", "rngstream", "-scope=all", "./internal/analysis/testdata/seeded")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if !strings.Contains(line, " rngstream: ") {
+			t.Errorf("-rules rngstream emitted a foreign diagnostic: %s", line)
+		}
+	}
+}
+
+func TestListRules(t *testing.T) {
+	code, stdout, _ := runDetlint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"walltime", "rngstream", "maporder", "rawgo", "floatsum"} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-list output missing %q:\n%s", rule, stdout)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown rule":    {"-rules", "cosmicrays"},
+		"bad scope":       {"-scope", "everything"},
+		"bad flag":        {"-definitely-not-a-flag"},
+		"missing dir":     {"./no/such/dir"},
+		"module escape":   {"../outside"},
+		"no go files":     {"./internal/experiments/testdata/golden"},
+		"absolute path":   {"/etc"},
+		"unknown pattern": {"internal/analysis/testdata/src/walltime/walltime.go"}, // a file, not a dir
+	}
+	for name, args := range cases {
+		if code, _, _ := runDetlint(t, args...); code != 2 {
+			t.Errorf("%s: run(%v) = %d, want 2", name, args, code)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatsumAnalyzer flags floating-point accumulation whose summation order
+// is not fixed by program order. (a+b)+c != a+(b+c) in floats; when the
+// terms arrive in map-iteration or goroutine-completion order, the low bits
+// of the sum differ run to run and golden byte-identity silently breaks —
+// usually far downstream, in the fourth decimal of a report cell.
+//
+// Two contexts are flagged:
+//
+//   - accumulation (`+= -= *= /=` or `x = x <op> ...`) into a variable
+//     declared outside a map-range loop, from inside that loop;
+//   - accumulation into a variable declared outside a goroutine's function
+//     literal, from inside it (join-order-dependent even when the join
+//     itself is synchronized).
+//
+// The fix is the same in both cases: accumulate positionally (into a slice
+// slot owned by the iteration) and reduce in a fixed order afterwards, as
+// the experiment worker pool does with its per-run results slice.
+var FloatsumAnalyzer = &Analyzer{
+	Name: "floatsum",
+	Doc: "no float accumulation in map-range or goroutine bodies; " +
+		"sum in a deterministic order (collect positionally, reduce sorted)",
+	Applies: inSimScope,
+	Run:     runFloatsum,
+}
+
+func runFloatsum(pass *Pass) {
+	seen := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch ctx := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[ctx.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				flagFloatAccum(pass, ctx.Body, ctx, "map-range", seen)
+			case *ast.GoStmt:
+				if lit, ok := ctx.Call.Fun.(*ast.FuncLit); ok {
+					flagFloatAccum(pass, lit.Body, lit, "goroutine", seen)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// flagFloatAccum reports float accumulation inside body into variables
+// declared outside span.
+func flagFloatAccum(pass *Pass, body *ast.BlockStmt, span ast.Node, ctx string, seen map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || seen[st.Pos()] {
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+				continue // positional/keyed slot: order-independent target
+			}
+			root := rootIdent(lhs)
+			if root == nil || root.Name == "_" || !declaredOutside(pass.Info, root, span) {
+				continue
+			}
+			t := pass.Info.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			basic, ok := t.Underlying().(*types.Basic)
+			if !ok || basic.Info()&(types.IsFloat|types.IsComplex) == 0 {
+				continue
+			}
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			case token.ASSIGN:
+				// x = x + y (self-referential update) accumulates too.
+				if i >= len(st.Rhs) || !mentionsObj(pass.Info, st.Rhs[i], pass.Info.ObjectOf(root)) {
+					continue
+				}
+			default:
+				continue
+			}
+			seen[st.Pos()] = true
+			pass.Reportf(st.Pos(), "floatsum",
+				"float accumulation into %s inside a %s body has order-dependent rounding; accumulate positionally and reduce in fixed order",
+				exprString(lhs), ctx)
+		}
+		return true
+	})
+}

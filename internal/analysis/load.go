@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked module package.
+type Package struct {
+	Fset   *token.FileSet
+	Path   string // import path ("repro/internal/core")
+	RelDir string // module-root-relative dir ("internal/core", "" for root)
+	Dir    string // absolute dir
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader loads and typechecks packages of the enclosing module using only
+// the stdlib toolchain: module packages are parsed from source under the
+// module root, stdlib dependencies are located with go/build and typechecked
+// from $GOROOT/src. No export data, no subprocesses, no external deps.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	pkgs map[string]*Package       // module packages by import path
+	std  map[string]*types.Package // non-module packages by import path
+	busy map[string]bool           // cycle guard
+}
+
+// NewLoader locates the module root by ascending from dir to the nearest
+// go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("detlint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("detlint: no module line in %s/go.mod", root)
+	}
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: root,
+		ModulePath: modPath,
+		pkgs:       make(map[string]*Package),
+		std:        make(map[string]*types.Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// Load resolves patterns to module packages. "./..." (or "...") walks the
+// whole module, skipping testdata and hidden directories the way the go tool
+// does. Any other pattern is a module-root-relative directory and may point
+// inside testdata — that is how fixture and seeded-violation packages are
+// linted deliberately.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			walked, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+			continue
+		}
+		rel := filepath.Clean(filepath.FromSlash(pat))
+		if rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) || filepath.IsAbs(rel) {
+			return nil, fmt.Errorf("detlint: pattern %q escapes the module", pat)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		ok, err := l.hasGoFiles(filepath.Join(l.ModuleRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("detlint: no Go files in %q", pat)
+		}
+		add(rel)
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, rel := range dirs {
+		pkg, err := l.loadRelDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkModule finds every module-root-relative directory holding a
+// non-test Go file, excluding testdata and dot-directories.
+func (l *Loader) walkModule() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if isSourceFile(d.Name()) {
+			rel, err := filepath.Rel(l.ModuleRoot, filepath.Dir(p))
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+				dirs = append(dirs, rel)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// isSourceFile reports whether name is a lintable Go file: not a test, not
+// editor/tool detritus.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+func (l *Loader) hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// importPath maps a module-root-relative dir to its import path.
+func (l *Loader) importPath(rel string) string {
+	if rel == "" {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// loadRelDir parses and typechecks one module package. Source files are
+// registered in the FileSet under their module-root-relative names so
+// diagnostics print stable, cd-independent paths.
+func (l *Loader) loadRelDir(rel string) (*Package, error) {
+	path := l.importPath(rel)
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("detlint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	dir := filepath.Join(l.ModuleRoot, rel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		relName := filepath.ToSlash(filepath.Join(rel, e.Name()))
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, relName, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("detlint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep), FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: typecheck %s: %v", path, err)
+	}
+	pkg := &Package{
+		Fset:   l.Fset,
+		Path:   path,
+		RelDir: filepath.ToSlash(rel),
+		Dir:    dir,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// importDep resolves an import for the typechecker: module packages load
+// recursively from the module tree; everything else is found with go/build
+// (stdlib under $GOROOT/src) and typechecked from source.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadRelDir(filepath.FromSlash(rel))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.std[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("detlint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	bp, err := build.Import(path, "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: locate %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(bp.Dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep), FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: typecheck dependency %s: %v", path, err)
+	}
+	l.std[path] = tpkg
+	return tpkg, nil
+}

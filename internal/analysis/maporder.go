@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer flags `for range` over a map whose body lets the
+// iteration order leak into results. Go randomizes map iteration order on
+// purpose; any order-dependent effect inside such a loop makes output differ
+// run to run — the exact bug class of PR 1 (lock release in map order
+// reordered waiter wakeups under contention) and PR 2 (map-order waiter
+// wakeup).
+//
+// Order leaks the rule recognizes in the body:
+//
+//   - append to a slice declared outside the loop (element order = map
+//     order) — unless a later statement in the same block sorts that slice,
+//     which is the sanctioned collect-keys-sort-iterate idiom;
+//   - a channel send or a goroutine launch per entry (cross-goroutine order);
+//   - plain `=` assignment to anything declared outside the loop
+//     (last-writer-wins picks a random entry);
+//   - floating-point or string accumulation into an outer variable
+//     (rounding/concatenation order differs run to run);
+//   - integer `/=`, `%=`, and shift accumulation (integer division and
+//     shifts do not commute);
+//   - writing bytes to an output sink (fmt.Fprint*/Print*, or
+//     Write/WriteString/WriteByte/WriteRune methods on an outer value) —
+//     rendered output in map order, the reporting-path variant of the bug.
+//
+// Commutative, exact accumulation stays legal: integer `+= -= *= |= &= ^=`,
+// `++`/`--`, and keyed writes (`m2[k] = v`, `counts[v]++`) are
+// order-independent. A loop the author can argue is order-free carries
+// `//detlint:ordered <reason>`.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "for-range over a map must not leak iteration order into results; " +
+		"sort the keys first or annotate //detlint:ordered <reason>",
+	Applies: inSimScope,
+	Run:     runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if lab, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = lab.Stmt
+				}
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				for _, lk := range orderLeaks(pass, rng) {
+					// The collect-then-sort idiom: an append whose target
+					// is sorted later in the same block is order-free.
+					if lk.appendTo != nil && sortedLater(pass, list[i+1:], lk.appendTo) {
+						continue
+					}
+					// Diagnostics anchor at the loop, not the leaking
+					// statement, so a //detlint:ordered directive on the
+					// loop suppresses every leak it argues away; the leak
+					// line rides in the message.
+					pass.Reportf(rng.Pos(), "maporder",
+						"map iteration order leaks into results: %s (line %d); iterate sorted keys or annotate //detlint:ordered <reason>",
+						lk.what, pass.Fset.Position(lk.pos).Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type leak struct {
+	pos  token.Pos
+	what string
+	// appendTo is the slice object an append targets, for the
+	// collect-then-sort exemption; nil for every other leak kind.
+	appendTo types.Object
+}
+
+// orderLeaks scans a map-range body for order-dependent effects.
+func orderLeaks(pass *Pass, rng *ast.RangeStmt) []leak {
+	var leaks []leak
+	report := func(pos token.Pos, format string, args ...any) {
+		leaks = append(leaks, leak{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			report(st.Pos(), "channel send per map entry")
+		case *ast.GoStmt:
+			report(st.Pos(), "goroutine launched per map entry")
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, st, &leaks)
+		case *ast.CallExpr:
+			checkOutputCall(pass, rng, st, report)
+		}
+		return true
+	})
+	return leaks
+}
+
+// checkAssign classifies one assignment inside a map-range body.
+func checkAssign(pass *Pass, rng *ast.RangeStmt, st *ast.AssignStmt, leaks *[]leak) {
+	if st.Tok == token.DEFINE {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		// Keyed writes (m2[k] = v) are order-independent: each entry
+		// lands in its own slot.
+		if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+			continue
+		}
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" || !declaredOutside(pass.Info, root, rng) {
+			continue
+		}
+		name := exprString(lhs)
+		// out = append(out, ...) — element order is map order.
+		if st.Tok == token.ASSIGN && i < len(st.Rhs) {
+			if call, ok := st.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass.Info, call) {
+				*leaks = append(*leaks, leak{
+					pos:      st.Pos(),
+					what:     fmt.Sprintf("append to %s", name),
+					appendTo: pass.Info.ObjectOf(root),
+				})
+				continue
+			}
+		}
+		var basic *types.Basic
+		if t := pass.Info.TypeOf(lhs); t != nil {
+			basic, _ = t.Underlying().(*types.Basic)
+		}
+		add := func(format string, args ...any) {
+			*leaks = append(*leaks, leak{pos: st.Pos(), what: fmt.Sprintf(format, args...)})
+		}
+		switch st.Tok {
+		case token.ASSIGN:
+			add("last-writer-wins assignment to %s", name)
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+			if basic == nil || basic.Info()&(types.IsFloat|types.IsComplex) != 0 {
+				add("float accumulation into %s (order-dependent rounding)", name)
+			} else if basic.Info()&types.IsString != 0 {
+				add("string concatenation into %s", name)
+			}
+			// Integer +=/-=/*= commute exactly; allowed.
+		case token.QUO_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+			add("non-commutative %s accumulation into %s", st.Tok, name)
+		}
+	}
+}
+
+// checkOutputCall flags rendering calls that emit bytes from inside the
+// loop: the rendered order is the map order.
+func checkOutputCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr,
+	report func(token.Pos, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if id, _ := sel.X.(*ast.Ident); id != nil && pkgPathOf(pass.Info, id) == "fmt" {
+		if strings.HasPrefix(sel.Sel.Name, "Fprint") || strings.HasPrefix(sel.Sel.Name, "Print") {
+			report(call.Pos(), "fmt.%s renders output in map order", sel.Sel.Name)
+		}
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if root := rootIdent(sel.X); root != nil && declaredOutside(pass.Info, root, rng) {
+			report(call.Pos(), "%s.%s writes output in map order", exprString(sel.X), sel.Sel.Name)
+		}
+	}
+}
+
+// sortedLater reports whether a statement after the loop sorts the given
+// slice (a call into package sort or slices mentioning the object).
+func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, sel := selectorCallee(pass.Info, call.Fun)
+			if sel == nil || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObj(pass.Info, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObj reports whether expr references obj.
+func mentionsObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent unwraps an lvalue to its base identifier (res.Count → res,
+// (*p).f → p, s[i] → s).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id's object was declared outside the span
+// of node n (so a write to it from inside n escapes n).
+func declaredOutside(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < n.Pos() || obj.Pos() > n.End()
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// exprString renders a short lvalue for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RngstreamAnalyzer forces all randomness through internal/rng substreams.
+//
+// Replicated parallel experiments are byte-identical to serial ones only
+// because every random draw comes from a stream seeded by rng.Derive(base,
+// runIndex) — a pure function of the replication index. The global math/rand
+// generator is shared process state: the interleaving of draws depends on
+// worker count and scheduling, which is exactly what the contract forbids.
+// Flagged:
+//
+//   - any call of a package-level math/rand function (rand.Intn,
+//     rand.Float64, rand.Shuffle, ... — the implicit global generator);
+//   - rand.New(rand.NewSource(seed)) whose seed expression does not involve
+//     a call to internal/rng's Derive (an underived constant or wall-clock
+//     seed silently decorrelates replications, or correlates all of them).
+//
+// Referring to math/rand types (rand.Rand, rand.Source) stays legal — that
+// is how internal/rng wraps the generator.
+var RngstreamAnalyzer = &Analyzer{
+	Name: "rngstream",
+	Doc: "all randomness must flow from internal/rng substreams (rng.Derive); " +
+		"the global math/rand generator and underived rand.NewSource seeds are forbidden",
+	// Module-wide: a stray global draw in a cmd or example becomes sim
+	// input the moment someone pipes it into a config. internal/rng is the
+	// sanctioned wrapper and stays exempt.
+	Applies: moduleWide("internal/rng"),
+	Run:     runRngstream,
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// derivePath is the sanctioned seed-derivation package (suffix match keeps
+// the rule valid for fixtures living under a testdata import path).
+const derivePath = "internal/rng"
+
+func runRngstream(pass *Pass) {
+	// allowedNew collects the rand.New / rand.NewSource call expressions
+	// that appear inside a sanctioned rand.New(rand.NewSource(derive(...)))
+	// composition, so the second walk can skip them.
+	allowedNew := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, sel := selectorCallee(pass.Info, call.Fun)
+			if sel == nil || !isMathRand(pkgPath) || sel.Name != "New" || len(call.Args) != 1 {
+				return true
+			}
+			inner, ok := call.Args[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			innerPath, innerSel := selectorCallee(pass.Info, inner.Fun)
+			if innerSel == nil || !isMathRand(innerPath) || innerSel.Name != "NewSource" || len(inner.Args) != 1 {
+				return true
+			}
+			if seedIsDerived(pass.Info, inner.Args[0]) {
+				allowedNew[call.Fun] = true
+				allowedNew[inner.Fun] = true
+			} else {
+				pass.Reportf(inner.Pos(), "rngstream",
+					"rand.NewSource seed is not derived from internal/rng (use rng.Derive or an rng.Stream)")
+				allowedNew[call.Fun] = true // already reported at the seed
+				allowedNew[inner.Fun] = true
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			pkgPath, sel := selectorCallee(pass.Info, n)
+			if sel == nil || !isMathRand(pkgPath) || allowedNew[n] {
+				return true
+			}
+			// Only package-level functions are draws on the global
+			// generator; type and constant references are fine.
+			if _, ok := pass.Info.Uses[sel].(*types.Func); !ok {
+				return true
+			}
+			if sel.Name == "New" || sel.Name == "NewSource" {
+				pass.Reportf(n.Pos(), "rngstream",
+					"%s.%s outside the sanctioned rand.New(rand.NewSource(rng.Derive(...))) composition",
+					pkgPath, sel.Name)
+			} else {
+				pass.Reportf(n.Pos(), "rngstream",
+					"%s.%s uses the global math/rand generator; draw from an internal/rng stream instead",
+					pkgPath, sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// seedIsDerived reports whether the seed expression contains a call to
+// internal/rng's Derive (or any internal/rng function/method — a value
+// produced by the sanctioned package is by construction stream-derived).
+func seedIsDerived(info *types.Info, seed ast.Expr) bool {
+	derived := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			// Package function rng.Derive(...) or method stream.Int63n(...).
+			if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil &&
+				strings.HasSuffix(obj.Pkg().Path(), derivePath) {
+				derived = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[fun]; obj != nil && obj.Pkg() != nil &&
+				strings.HasSuffix(obj.Pkg().Path(), derivePath) {
+				derived = true
+				return false
+			}
+		}
+		return true
+	})
+	return derived
+}

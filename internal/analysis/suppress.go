@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a human overrule a rule — but only with a
+// recorded reason. Two forms exist:
+//
+//	//detlint:allow <rule> <reason>   any rule; line- or file-scoped
+//	//detlint:ordered <reason>        maporder only; reads naturally at a loop
+//
+// A line-scoped directive covers its own line and the next one, so it works
+// both as a trailing comment on the flagged line and as a comment directly
+// above it. A directive that appears before the package clause covers the
+// whole file. A directive with no reason, or naming an unknown rule, is
+// reported as a "suppress" diagnostic and suppresses nothing.
+type suppressor struct {
+	// line[file][line][rule]: line-scoped allowances.
+	line map[string]map[int]map[string]bool
+	// file[file][rule]: file-scoped allowances.
+	file      map[string]map[string]bool
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment in the files for detlint
+// directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, rules map[string]bool) *suppressor {
+	s := &suppressor{
+		line: make(map[string]map[int]map[string]bool),
+		file: make(map[string]map[string]bool),
+	}
+	for _, f := range files {
+		pkgPos := fset.Position(f.Package)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//detlint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				var rule, reason string
+				switch verb {
+				case "allow":
+					rule, reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+				case "ordered":
+					rule, reason = "maporder", rest
+				default:
+					s.reject(pos, "unknown directive //detlint:%s", verb)
+					continue
+				}
+				if rule == "" || !rules[rule] {
+					s.reject(pos, "//detlint:allow needs a known rule, got %q", rule)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					s.reject(pos, "//detlint:%s requires a reason", verb)
+					continue
+				}
+				if pos.Filename == pkgPos.Filename && pos.Line < pkgPos.Line {
+					fw := s.file[pos.Filename]
+					if fw == nil {
+						fw = make(map[string]bool)
+						s.file[pos.Filename] = fw
+					}
+					fw[rule] = true
+					continue
+				}
+				s.allowLine(pos.Filename, pos.Line, rule)
+				s.allowLine(pos.Filename, pos.Line+1, rule)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressor) reject(pos token.Position, format string, args ...any) {
+	s.malformed = append(s.malformed, Diagnostic{Pos: pos, Rule: "suppress", Message: fmt.Sprintf(format, args...)})
+}
+
+func (s *suppressor) allowLine(file string, line int, rule string) {
+	byLine := s.line[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s.line[file] = byLine
+	}
+	byRule := byLine[line]
+	if byRule == nil {
+		byRule = make(map[string]bool)
+		byLine[line] = byRule
+	}
+	byRule[rule] = true
+}
+
+// filter drops diagnostics covered by a well-formed suppression.
+func (s *suppressor) filter(diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if s.file[d.Pos.Filename][d.Rule] || s.line[d.Pos.Filename][d.Pos.Line][d.Rule] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

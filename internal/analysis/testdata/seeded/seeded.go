@@ -1,0 +1,35 @@
+// Package seeded is the CI gate's self-test: a file with known
+// determinism-contract violations that `go run ./cmd/detlint -scope=all
+// ./internal/analysis/testdata/seeded` must always report with a nonzero
+// exit. If an analyzer regression ever makes detlint wave this file
+// through, the CI step fails and the gate cannot silently rot.
+//
+// Do not fix these violations — they are the point.
+package seeded
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp violates walltime: simulation code consulting the host clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter violates rngstream: a draw on the global math/rand generator.
+func Jitter() float64 { return rand.Float64() }
+
+// Sum violates maporder and floatsum: order-dependent float reduction in
+// map-iteration order.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Fire violates rawgo: a goroutine outside the whitelisted seams.
+func Fire(done chan struct{}) {
+	go func() { close(done) }()
+	<-done
+}

@@ -1,0 +1,86 @@
+// Package floatsum is the fixture for the floatsum rule: float accumulation
+// must happen in a deterministic order.
+package floatsum
+
+func mapSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floatsum: float accumulation into total inside a map-range body`
+	}
+	return total
+}
+
+func selfAssignSum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v // want `floatsum: float accumulation into t inside a map-range body`
+	}
+	return t
+}
+
+func nestedFieldSum(m map[int]float64, agg *struct{ Mean float64 }) {
+	for _, v := range m {
+		agg.Mean += v // want `floatsum: float accumulation into agg\.Mean inside a map-range body`
+	}
+}
+
+func goroutineSum(xs []float64, done chan struct{}) float64 {
+	var sum float64
+	for _, x := range xs {
+		go func(x float64) {
+			sum += x // want `floatsum: float accumulation into sum inside a goroutine body`
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return sum
+}
+
+func positionalOK(m map[int]float64, out []float64) {
+	// Keyed slots are order-independent; the deterministic reduction
+	// happens later over the slice.
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+func sliceSumOK(xs []float64) float64 {
+	// Slice order is program order: deterministic.
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func localInLoopOK(m map[string]float64) {
+	// Accumulation into a variable scoped to one iteration never crosses
+	// entries.
+	for _, v := range m {
+		local := 0.0
+		local += v
+		_ = local
+	}
+}
+
+func workerPoolOK(xs []float64, done chan struct{}) float64 {
+	// The sanctioned shape: goroutines write positional slots; the join
+	// reduces in fixed order.
+	partial := make([]float64, len(xs))
+	for i, x := range xs {
+		go func(i int, x float64) {
+			partial[i] = x * x
+			done <- struct{}{}
+		}(i, x)
+	}
+	for range xs {
+		<-done
+	}
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

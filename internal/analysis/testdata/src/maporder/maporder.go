@@ -1,0 +1,142 @@
+// Package maporder is the fixture for the maporder rule: map iteration
+// order must not leak into results. Diagnostics anchor at the `for` line of
+// the offending loop.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `maporder: map iteration order leaks into results: append to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSortOK(m map[string]int) []string {
+	// The sanctioned idiom: the appended slice is sorted before use.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sendLeak(m map[string]int, ch chan string) {
+	for k := range m { // want `maporder: map iteration order leaks into results: channel send per map entry`
+		ch <- k
+	}
+}
+
+func goroutineLeak(m map[string]int) {
+	for k := range m { // want `maporder: map iteration order leaks into results: goroutine launched per map entry`
+		go func(string) {}(k)
+	}
+}
+
+func lastWriterLeak(m map[int]string) string {
+	var last string
+	for _, v := range m { // want `maporder: map iteration order leaks into results: last-writer-wins assignment to last`
+		last = v
+	}
+	return last
+}
+
+func floatLeak(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `maporder: map iteration order leaks into results: float accumulation into total`
+		total += v
+	}
+	return total
+}
+
+func stringLeak(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `maporder: map iteration order leaks into results: string concatenation into out`
+		out += v
+	}
+	return out
+}
+
+func intDivLeak(m map[string]int) int {
+	acc := 1 << 30
+	for _, v := range m { // want `maporder: map iteration order leaks into results: non-commutative /= accumulation`
+		acc /= v
+	}
+	return acc
+}
+
+func renderLeak(m map[string]int, sb *strings.Builder) {
+	// Two leaks in one loop: two diagnostics, both anchored here.
+	for k := range m { // want `maporder: .*fmt\.Println renders output in map order` `maporder: .*sb\.WriteString writes output in map order`
+		fmt.Println(k)
+		sb.WriteString(k)
+	}
+}
+
+func commutativeOK(m map[string]int) (int, map[string]int) {
+	// Exact, commutative accumulation and keyed writes are
+	// order-independent.
+	sum := 0
+	counts := make(map[string]int)
+	for k, v := range m {
+		sum += v
+		counts[k] = v
+		local := v * 2
+		_ = local
+	}
+	return sum, counts
+}
+
+func annotatedOK(m map[int]string) string {
+	var any string
+	//detlint:ordered all values are identical by construction; any entry serves
+	for _, v := range m {
+		any = v
+	}
+	return any
+}
+
+func trailingAnnotationOK(m map[int]string) string {
+	var any string
+	for _, v := range m { //detlint:ordered all values are identical by construction
+		any = v
+	}
+	return any
+}
+
+func derefLeak(m map[string]float64, total *float64) {
+	// Writing through a pointer deref still escapes the loop.
+	for _, v := range m { // want `maporder: map iteration order leaks into results: float accumulation into \*total`
+		*total += v
+	}
+}
+
+func fieldLeak(m map[string]float64, res *struct{ Sum float64 }) {
+	for _, v := range m { // want `maporder: map iteration order leaks into results: float accumulation into res\.Sum`
+		(res.Sum) += v
+	}
+}
+
+func keyedWriteOK(m map[string]int, slots []int) {
+	// Keyed writes are trusted to be order-independent; a fixed index like
+	// slots[0] is a known false negative of that heuristic, accepted so
+	// that the overwhelmingly common slots[k] pattern needs no annotation.
+	for _, v := range m {
+		slots[0] = v
+	}
+}
+
+func sliceRangeOK(xs []float64) float64 {
+	// Ranging a slice is ordered; nothing to flag.
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

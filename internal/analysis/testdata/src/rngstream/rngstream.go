@@ -1,0 +1,34 @@
+// Package rngstream is the fixture for the rngstream rule: every random
+// draw must flow from an internal/rng substream.
+package rngstream
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+)
+
+func bad(seed int64) {
+	_ = rand.Intn(10)                  // want `rngstream: math/rand\.Intn uses the global math/rand generator`
+	_ = rand.Float64()                 // want `rngstream: math/rand\.Float64 uses the global math/rand generator`
+	rand.Shuffle(3, func(i, j int) {}) // want `rngstream: math/rand\.Shuffle uses the global math/rand generator`
+	_ = rand.New(rand.NewSource(42))   // want `rngstream: rand\.NewSource seed is not derived`
+	_ = rand.New(rand.NewSource(seed)) // want `rngstream: rand\.NewSource seed is not derived`
+	src := rand.NewSource(7)           // want `rngstream: math/rand\.NewSource outside the sanctioned`
+	_ = rand.New(src)                  // want `rngstream: math/rand\.New outside the sanctioned`
+}
+
+func good(base int64, run int) float64 {
+	// The sanctioned composition: a local generator seeded through
+	// rng.Derive, or better, an rng.Stream.
+	r := rand.New(rand.NewSource(rng.Derive(base, run)))
+	s := rng.NewStream(rng.Derive(base, run), "fixture")
+	// Instance draws are fine — the stream is derived.
+	return r.Float64() + s.Float64()
+}
+
+// typeRefsOK: naming math/rand types is how internal/rng wraps the
+// generator; only draws are forbidden.
+func typeRefsOK(r *rand.Rand, s rand.Source) (*rand.Rand, rand.Source) {
+	return r, s
+}

@@ -1,0 +1,11 @@
+//detlint:allow walltime whole-file fixture: this file stands in for a CLI-layer clock wrapper
+
+package suppress
+
+import "time"
+
+// fileScopedA and fileScopedB are both covered by the file-scoped
+// directive above the package clause: no diagnostics anywhere in this file.
+func fileScopedA() int64 { return time.Now().UnixNano() }
+
+func fileScopedB() time.Time { return time.Now() }

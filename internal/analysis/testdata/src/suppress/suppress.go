@@ -1,0 +1,44 @@
+// Package suppress is the fixture for the suppression machinery: a
+// well-formed //detlint:allow silences a finding, a reasonless or
+// unknown-rule directive is itself reported and silences nothing.
+package suppress
+
+import "time"
+
+func trailingAllowed() int64 {
+	return time.Now().UnixNano() //detlint:allow walltime fixture exercises a sanctioned suppression
+}
+
+func aboveAllowed() int64 {
+	//detlint:allow walltime fixture exercises a sanctioned suppression
+	return time.Now().UnixNano()
+}
+
+func missingReason() int64 {
+	//detlint:allow walltime
+	return time.Now().UnixNano() // want `walltime: time\.Now reads host state`
+}
+
+func unknownRule() int64 {
+	//detlint:allow cosmicrays bit flips are rare
+	return time.Now().UnixNano() // want `walltime: time\.Now reads host state`
+}
+
+func unknownVerb() int64 {
+	//detlint:ignore walltime wrong verb
+	return time.Now().UnixNano() // want `walltime: time\.Now reads host state`
+}
+
+func wrongRuleDoesNotSuppress() int64 {
+	//detlint:allow maporder reason names the wrong rule
+	return time.Now().UnixNano() // want `walltime: time\.Now reads host state`
+}
+
+func orderedMissingReason(m map[string]int) []string {
+	var keys []string
+	//detlint:ordered
+	for k := range m { // want `maporder: map iteration order leaks into results: append to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,33 @@
+// Package walltime is the fixture for the walltime rule: simulation code
+// must take time from the sim clock, never the host.
+package walltime
+
+import (
+	"os"
+	"time"
+)
+
+// simNowMS stands in for the sim clock.
+var simNowMS float64
+
+func bad() {
+	_ = time.Now()               // want `walltime: time\.Now reads host state`
+	_ = time.Since(time.Time{})  // want `walltime: time\.Since reads host state`
+	time.Sleep(time.Millisecond) // want `walltime: time\.Sleep reads host state`
+	_ = os.Getenv("TPSIM_SEED")  // want `walltime: os\.Getenv reads host state`
+	_, _ = os.LookupEnv("HOME")  // want `walltime: os\.LookupEnv reads host state`
+	_ = time.After(time.Second)  // want `walltime: time\.After reads host state`
+	<-time.Tick(time.Second)     // want `walltime: time\.Tick reads host state`
+	_ = time.NewTimer(1)         // want `walltime: time\.NewTimer reads host state`
+	clock := time.Now            // want `walltime: time\.Now reads host state`
+	_ = clock
+}
+
+func good() time.Duration {
+	// Types, constants and arithmetic from package time are legal; only
+	// host reads are forbidden.
+	var d time.Duration = 3 * time.Millisecond
+	simNowMS += float64(d.Milliseconds())
+	_ = os.Args
+	return d
+}

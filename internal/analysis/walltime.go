@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// forbiddenWalltime maps a package path to identifiers that read the wall
+// clock or the process environment. Simulation code must take all time from
+// the sim kernel's clock and all configuration through Config structs;
+// consulting the host at run time makes output depend on when and where the
+// simulator runs. The list is a strict superset of the names that have
+// actually caused review churn (time.Now/Since/Sleep, os.Getenv): the timer
+// constructors are included because any use of them in sim code is the same
+// bug about to happen.
+var forbiddenWalltime = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+		"AfterFunc": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+}
+
+// WalltimeAnalyzer forbids wall-clock and environment reads in simulation
+// packages.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock and environment reads (time.Now/Since/Sleep/timers, " +
+		"os.Getenv) in simulation packages; only the sim clock may be consulted",
+	Applies: inSimScope,
+	Run:     runWalltime,
+}
+
+func runWalltime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			pkgPath, sel := selectorCallee(pass.Info, n)
+			if sel == nil {
+				return true
+			}
+			if forbiddenWalltime[pkgPath][sel.Name] {
+				pass.Reportf(n.Pos(), "walltime",
+					"%s.%s reads host state; simulation code must use the sim clock (sim.Time)",
+					pkgPath, sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package analysis
+
+// The fixture harness mirrors x/tools' analysistest in miniature: fixture
+// packages under testdata/src/<rule>/ carry `// want `+"`regex`"+`` comments
+// on the lines where a diagnostic must appear; the harness runs one or more
+// analyzers over the fixture (scope forced, as the driver's -scope=all
+// does), matches diagnostics to wants line by line, and fails on either an
+// unexpected diagnostic or an unmatched expectation. Malformed-suppression
+// ("suppress" rule) diagnostics are asserted by substring instead, because
+// they land on the directive's own line where a want comment cannot sit.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%q) = %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantChunk = regexp.MustCompile("`([^`]*)`")
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				chunks := wantChunk.FindAllStringSubmatch(rest, -1)
+				if len(chunks) == 0 {
+					t.Fatalf("%s:%d: want comment without backtick-quoted regex", pos.Filename, pos.Line)
+				}
+				for _, m := range chunks {
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						rx:   regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runWant checks a fixture package against its want comments.
+// wantMalformed lists substrings of expected "suppress" diagnostics.
+func runWant(t *testing.T, dir string, analyzers []*Analyzer, wantMalformed []string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	wants := parseWants(t, pkg)
+	var malformed []Diagnostic
+	for _, d := range RunAnalyzers(pkg, analyzers, true) {
+		if d.Rule == "suppress" {
+			malformed = append(malformed, d)
+			continue
+		}
+		text := fmt.Sprintf("%s: %s", d.Rule, d.Message)
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	if len(malformed) != len(wantMalformed) {
+		t.Fatalf("got %d malformed-suppression diagnostics %v, want %d", len(malformed), malformed, len(wantMalformed))
+	}
+	used := make([]bool, len(malformed))
+	for _, sub := range wantMalformed {
+		found := false
+		for i, d := range malformed {
+			if !used[i] && strings.Contains(d.Message, sub) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no suppress diagnostic containing %q in %v", sub, malformed)
+		}
+	}
+}
+
+const fixtureRoot = "internal/analysis/testdata/src/"
+
+func TestWalltimeFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"walltime", []*Analyzer{WalltimeAnalyzer}, nil)
+}
+
+func TestRngstreamFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"rngstream", []*Analyzer{RngstreamAnalyzer}, nil)
+}
+
+func TestMaporderFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"maporder", []*Analyzer{MaporderAnalyzer}, nil)
+}
+
+func TestRawgoFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"rawgo", []*Analyzer{RawgoAnalyzer}, nil)
+}
+
+func TestFloatsumFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"floatsum", []*Analyzer{FloatsumAnalyzer}, nil)
+}
+
+func TestSuppressFixture(t *testing.T) {
+	runWant(t, fixtureRoot+"suppress",
+		[]*Analyzer{WalltimeAnalyzer, MaporderAnalyzer},
+		[]string{
+			"requires a reason",  // allow without reason
+			"requires a reason",  // ordered without reason
+			"needs a known rule", // unknown rule name
+			"unknown directive",  // detlint:ignore
+		})
+}
+
+// TestSeededFixture proves the CI self-test file trips every rule — the
+// property the pipeline's seeded-violation step depends on.
+func TestSeededFixture(t *testing.T) {
+	pkg := loadFixture(t, "internal/analysis/testdata/seeded")
+	rules := make(map[string]bool)
+	for _, d := range RunAnalyzers(pkg, All(), true) {
+		rules[d.Rule] = true
+	}
+	for _, a := range All() {
+		if !rules[a.Name] {
+			t.Errorf("seeded fixture does not trip rule %q; the CI gate self-test would rot", a.Name)
+		}
+	}
+}

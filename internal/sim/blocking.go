@@ -27,6 +27,7 @@ func (s *Sim) SpawnBlocking(name string, delay Time, body func(b *BlockingProces
 		toKernel: make(chan struct{}),
 	}
 	b.p = s.Spawn(name, delay, func(p *Process) {
+		//detlint:allow rawgo strict hand-off shim: unbuffered channel pair guarantees exactly one of kernel/body runs at any instant, so scheduling order cannot vary
 		go func() {
 			<-b.toBody
 			body(b)
