@@ -11,6 +11,7 @@ package tpsim_test
 
 import (
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/cc"
@@ -142,6 +143,41 @@ func BenchmarkClusterScaleout(b *testing.B) {
 		b.ReportMetric(resp.Series[0].Points[last], "shared-nvem-ms")
 		b.ReportMetric(resp.Series[1].Points[last], "disk-only-ms")
 	}
+}
+
+// BenchmarkPDESScaleout measures the parallel engine's barrier fast path:
+// one 64-node PDES cluster (the cluster.scaleout64 private-NVEM point,
+// shortened windows) run serially (Workers = 1) and with an 8-worker pool,
+// reporting the wall-clock speedup. The reports of both runs must match —
+// the speedup is free of any modeling change by construction. The speedup
+// metric is gated by scripts/bench_check.sh with a floor scaled to the
+// host's core count (a single-core runner cannot speed anything up).
+func BenchmarkPDESScaleout(b *testing.B) {
+	point := func(workers int) experiments.ClusterSetup {
+		return experiments.ClusterSetup{Nodes: 64, AggregateRate: 50 * 64,
+			MMBuffer: 500, PrivateNVEM: 500, GlobalLocks: true,
+			PDES: true, PDESWorkers: workers, WindowScale: 0.25,
+			DBControllers: 2, DBDisks: 12, LogControllers: 1, LogDisks: 2}
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		resSerial, err := point(1).Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+		start = time.Now()
+		resParallel, err := point(8).Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(start)
+		if resSerial.Report() != resParallel.Report() {
+			b.Fatal("worker counts diverged — determinism contract broken")
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
 
 // BenchmarkClusterLocking regenerates the global-vs-local locking

@@ -11,7 +11,9 @@
 // runs every simulation point N times with derived seeds and renders mean ±
 // 95% confidence interval; -parallel caps the number of concurrently
 // executing simulation runs (0 = GOMAXPROCS). Output is byte-identical for
-// any -parallel value.
+// any -parallel value. -cpuprofile and -memprofile write pprof profiles of
+// the selected runs (CPU over the whole invocation, heap at exit) for
+// hunting the next hot path.
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -41,11 +45,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	reps := fs.Int("reps", 1, "independent replications per simulation point (mean ± 95% CI when > 1)")
 	parallel := fs.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+			}
+		}()
 	}
 	opts := experiments.Options{
 		Seed: *seed, Quick: *quick,

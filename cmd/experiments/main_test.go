@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,6 +69,40 @@ func TestNoActionShowsUsage(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "-run") {
 		t.Errorf("usage missing from stderr: %q", errOut)
+	}
+}
+
+// TestProfileFlags parses and exercises -cpuprofile/-memprofile: a real
+// quick run must leave non-empty pprof files behind, and an unwritable
+// CPU-profile path must fail up front with exit 1.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errOut := runCmd(t,
+		"-run", "table2\\.1", "-quick", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	code, _, errOut = runCmd(t,
+		"-run", "table2\\.1", "-quick", "-cpuprofile", filepath.Join(dir, "no", "such", "dir.pprof"))
+	if code != 1 {
+		t.Fatalf("unwritable -cpuprofile: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "no such file or directory") {
+		t.Errorf("stderr missing create error: %q", errOut)
 	}
 }
 

@@ -47,15 +47,19 @@ type fileConfig struct {
 }
 
 type clusterConfig struct {
-	NumNodes         int              `json:"numNodes"`
-	SharedNVEMCache  bool             `json:"sharedNVEMCache"`
-	GlobalLocks      bool             `json:"globalLocks"`
-	InstrLockMsg     float64          `json:"instrLockMsg"`
-	LockMsgDelayMS   float64          `json:"lockMsgDelayMS"`
-	TimelineBucketMS float64          `json:"timelineBucketMS"`
-	Failure          *failureConfig   `json:"failure"`
-	Admission        *admissionConfig `json:"admission"`
-	PDES             *pdesConfig      `json:"pdes"`
+	NumNodes        int  `json:"numNodes"`
+	SharedNVEMCache bool `json:"sharedNVEMCache"`
+	// NVEMAccessDelayMS is the shared-NVEM-cache interconnect latency;
+	// required positive to combine sharedNVEMCache with pdes (coherence
+	// needs lookahead), ignored by coupled runs.
+	NVEMAccessDelayMS float64          `json:"nvemAccessDelayMS"`
+	GlobalLocks       bool             `json:"globalLocks"`
+	InstrLockMsg      float64          `json:"instrLockMsg"`
+	LockMsgDelayMS    float64          `json:"lockMsgDelayMS"`
+	TimelineBucketMS  float64          `json:"timelineBucketMS"`
+	Failure           *failureConfig   `json:"failure"`
+	Admission         *admissionConfig `json:"admission"`
+	PDES              *pdesConfig      `json:"pdes"`
 }
 
 // pdesConfig switches the cluster run to the conservative parallel engine
@@ -322,14 +326,15 @@ func (fc *fileConfig) assembleCluster() (tpsim.Config, *tpsim.ClusterConfig, err
 	}
 
 	ccfg := &tpsim.ClusterConfig{
-		Base:             base,
-		NumNodes:         n,
-		Generators:       gens,
-		SharedNVEMCache:  cl.SharedNVEMCache,
-		GlobalLocks:      cl.GlobalLocks,
-		InstrLockMsg:     cl.InstrLockMsg,
-		LockMsgDelayMS:   cl.LockMsgDelayMS,
-		TimelineBucketMS: cl.TimelineBucketMS,
+		Base:              base,
+		NumNodes:          n,
+		Generators:        gens,
+		SharedNVEMCache:   cl.SharedNVEMCache,
+		NVEMAccessDelayMS: cl.NVEMAccessDelayMS,
+		GlobalLocks:       cl.GlobalLocks,
+		InstrLockMsg:      cl.InstrLockMsg,
+		LockMsgDelayMS:    cl.LockMsgDelayMS,
+		TimelineBucketMS:  cl.TimelineBucketMS,
 	}
 	if cl.Failure != nil {
 		ccfg.Failure = tpsim.FailureConfig{

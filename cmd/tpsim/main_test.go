@@ -86,3 +86,60 @@ func TestRunClusterEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPDESSharedNVEMEndToEnd drives the CLI over a parallel cluster
+// with a shared NVEM cache: legal with a positive nvemAccessDelayMS, and
+// rejected with a clear error when the delay is left at zero.
+func TestRunPDESSharedNVEMEndToEnd(t *testing.T) {
+	build := func(delayLine string) string {
+		return `{
+	  "warmupMS": 500, "measureMS": 1500,
+	  "workload": {"kind": "debitcredit", "rate": 200},
+	  "diskUnits": [
+	    {"name": "db", "numControllers": 4, "contrDelayMS": 1.0,
+	     "transDelayMS": 0.4, "numDisks": 32, "diskDelayMS": 15},
+	    {"name": "log", "numControllers": 2, "contrDelayMS": 1.0,
+	     "transDelayMS": 0.4, "numDisks": 8, "diskDelayMS": 5}
+	  ],
+	  "buffer": {
+	    "bufferSize": 500,
+	    "nvemCacheSize": 1000,
+	    "partitions": [{"diskUnit": 0, "nvemCache": true},
+	                   {"diskUnit": 0, "nvemCache": true},
+	                   {"diskUnit": 0, "nvemCache": true}],
+	    "log": {"nvemResident": true}
+	  },
+	  "cluster": {
+	    "numNodes": 2,
+	    "globalLocks": true,
+	    "sharedNVEMCache": true,` + delayLine + `
+	    "pdes": {"workers": 2}
+	  }
+	}`
+	}
+	path := filepath.Join(t.TempDir(), "pdes-shared.json")
+	if err := os.WriteFile(path, []byte(build(`"nvemAccessDelayMS": 0.15,`)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCmd(t, "-config", path)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	for _, want := range []string{"node 0:", "node 1:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report misses %q:\n%s", want, out)
+		}
+	}
+
+	// Same file without the delay: the validation error must name the knob.
+	if err := os.WriteFile(path, []byte(build("")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCmd(t, "-config", path)
+	if code != 1 {
+		t.Fatalf("zero-delay shared cache under PDES: code=%d, want 1", code)
+	}
+	if !strings.Contains(stderr, "NVEMAccessDelayMS") {
+		t.Fatalf("error does not name the missing knob: %q", stderr)
+	}
+}

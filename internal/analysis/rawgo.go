@@ -9,9 +9,15 @@ import (
 // multi-case select: the sanctioned concurrency seams, each of which is
 // proven worker-count-invariant by its own determinism tests. Paths are
 // module-root relative.
+//
+// A seam can also opt in locally with a file-scoped
+// `//detlint:allow rawgo <reason>` before its package clause (see
+// internal/core/barrier.go, the PDES worker pool): that keeps the
+// reasoning next to the code it excuses instead of in this list. The
+// PDES coordinator (internal/core/pdes.go) itself no longer spawns
+// goroutines — all raw concurrency moved behind the barrier seam.
 var rawgoSeams = []string{
 	"internal/experiments/parallel.go", // replication/grid worker pool
-	"internal/core/pdes.go",            // PDES coordinator + node workers
 	"internal/buffer/checkpoint.go",    // async checkpoint flush writers
 }
 

@@ -37,3 +37,19 @@ func allowedInline(done chan struct{}) {
 	go func() { close(done) }()
 	<-done
 }
+
+// unannotatedBarrier mimics the PDES barrier's persistent worker pool
+// WITHOUT the file-scoped allow that barrierseam.go (and the real
+// internal/core/barrier.go) carries: spawning the pool must trip the
+// gate — moving the pool out of a whitelisted seam file is not a way to
+// dodge the determinism contract.
+func unannotatedBarrier(workers int, park []chan struct{}) {
+	for w := 1; w < workers; w++ {
+		go barrierWorker(park[w]) // want `rawgo: go statement outside the whitelisted concurrency seams`
+	}
+}
+
+func barrierWorker(park chan struct{}) {
+	for range park {
+	}
+}

@@ -37,6 +37,25 @@ type Host interface {
 // nop is the terminal continuation of asynchronous writer processes.
 func nop() {}
 
+// RemoteNVEMCache routes shared-NVEM-cache operations over a cluster
+// interconnect instead of touching the cache structure directly. The
+// parallel engine implements it with lookahead messages: a Probe's verdict
+// arrives NVEMAccessDelayMS later on the requesting node, and a Put is a
+// one-way insert applied at the same latency. A manager built with
+// NewRemote never touches the shared cache from its own kernel — the
+// cluster coordinator applies the operations through ApplySharedProbe and
+// ApplySharedPut while every kernel is quiescent.
+type RemoteNVEMCache interface {
+	// Probe looks key up in the shared cache; k runs on the requesting
+	// node once the verdict arrives. Under NOFORCE a hit removes the
+	// cached copy (single-copy promotion) and reports whether it carried
+	// a deferred-destage modification; under FORCE the copy stays and its
+	// recency is refreshed.
+	Probe(key storage.PageKey, k func(hit, dirty bool))
+	// Put inserts key into the shared cache (one-way).
+	Put(key storage.PageKey, dirty bool)
+}
+
 // Stats are the buffer manager's counters.
 type Stats struct {
 	Fixes         int64 // page requests
@@ -142,8 +161,17 @@ type Manager struct {
 
 	mm         *lru.Cache[storage.PageKey, frame]
 	nvemCache  *lru.Cache[storage.PageKey, nvemFrame]
-	sharedNVEM bool // nvemCache is the cluster-shared cache, not a private one
-	wbInUse    int
+	sharedNVEM bool // the NVEM cache is the cluster-shared one, not private
+
+	// Remote mode (NewRemote): shared-cache operations travel over the
+	// interconnect instead of touching the structure. nvemCache stays nil
+	// so no node-side path can reach the shared structure by accident;
+	// remoteShared is only dereferenced by the ApplyShared* entry points
+	// the cluster coordinator calls at barriers.
+	remote       RemoteNVEMCache
+	remoteShared *SharedNVEMCache
+
+	wbInUse int
 
 	logPartition int
 	logNext      int64
@@ -161,14 +189,15 @@ type Manager struct {
 // New builds a buffer manager. units must cover every DiskUnit index in the
 // configuration; nvem may be nil when cfg.UsesNVEM() is false.
 func New(cfg Config, partitionNames []string, units []*storage.DiskUnit, nvem *storage.NVEM, host Host) (*Manager, error) {
-	return newManager(cfg, partitionNames, units, nvem, host, nil)
+	return newManager(cfg, partitionNames, units, nvem, host, nil, nil)
 }
 
 // newManager is the shared constructor: with a non-nil shared cache the
 // manager operates on the cluster-shared NVEM cache and allocates no
-// private one.
+// private one; with a remote bus as well, it reaches that cache only
+// through the bus (NewRemote).
 func newManager(cfg Config, partitionNames []string, units []*storage.DiskUnit,
-	nvem *storage.NVEM, host Host, shared *SharedNVEMCache) (*Manager, error) {
+	nvem *storage.NVEM, host Host, shared *SharedNVEMCache, remote RemoteNVEMCache) (*Manager, error) {
 	if err := cfg.Validate(partitionNames, len(units)); err != nil {
 		return nil, err
 	}
@@ -185,6 +214,13 @@ func newManager(cfg Config, partitionNames []string, units []*storage.DiskUnit,
 		partStats:    make([]PartitionStats, len(cfg.Partitions)),
 	}
 	switch {
+	case remote != nil:
+		if shared == nil {
+			return nil, fmt.Errorf("buffer: remote NVEM bus without a shared cache")
+		}
+		m.remote = remote
+		m.remoteShared = shared
+		m.sharedNVEM = true
 	case shared != nil:
 		m.nvemCache = shared.cache
 		m.sharedNVEM = true
@@ -210,8 +246,12 @@ func (m *Manager) PartitionStats() []PartitionStats {
 // MMLen returns the number of occupied main-memory frames.
 func (m *Manager) MMLen() int { return m.mm.Len() }
 
-// NVEMCacheLen returns the number of occupied NVEM cache frames.
+// NVEMCacheLen returns the number of occupied NVEM cache frames (the
+// cluster-shared cache's occupancy in shared or remote mode).
 func (m *Manager) NVEMCacheLen() int {
+	if m.remoteShared != nil {
+		return m.remoteShared.cache.Len()
+	}
 	if m.nvemCache == nil {
 		return 0
 	}
@@ -259,6 +299,11 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool, k func())
 			m.mm.Update(key, frame{dirty: true})
 		}
 		k()
+		return
+	}
+
+	if a.NVEMCache && m.remote != nil {
+		m.fixRemote(p, key, write, ps, k)
 		return
 	}
 
@@ -311,6 +356,76 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool, k func())
 		return
 	}
 	fetch()
+}
+
+// fixRemote serves a main-memory miss on a shared-NVEM-cache partition
+// when the cache sits across the interconnect (remote mode): the probe
+// travels as a cross-node message and its verdict arrives one
+// NVEMAccessDelayMS later, after which the page transfer (hit) or device
+// read (miss) proceeds as usual. The frame is reserved and registered
+// before the probe departs — fetch coalescing works exactly as on the
+// local path, so a concurrent fixer neither steals the freed slot nor
+// starts a duplicate fetch.
+func (m *Manager) fixRemote(p *sim.Process, key storage.PageKey, write bool, ps *PartitionStats, k func()) {
+	victim, victimDirty, haveVictim := m.reserveFrame()
+	m.mm.Put(key, frame{dirty: write})
+	fetch := func() {
+		m.remote.Probe(key, func(hit, dirty bool) {
+			if dirty {
+				// NOFORCE promotion of a deferred-dirty copy: the pending
+				// modification rides up with the page. If the frame was
+				// replaced while the probe was in flight the page went out
+				// clean, so the promoted modification still has to reach
+				// disk on its own.
+				if _, ok := m.mm.Peek(key); ok {
+					m.mm.Update(key, frame{dirty: true})
+				} else {
+					m.startAsyncWrite(key)
+				}
+			}
+			if hit {
+				m.stats.NVEMCacheHits++
+				ps.NVEMHits++
+				m.host.NVEMTransfer(p, k)
+				return
+			}
+			m.stats.DeviceReads++
+			m.deviceRead(p, key, k)
+		})
+	}
+	if haveVictim {
+		m.disposeVictim(p, victim, victimDirty, fetch)
+		return
+	}
+	fetch()
+}
+
+// ApplySharedProbe resolves one remote Probe against the cluster-shared
+// cache. The coordinator calls it at a barrier (kernels quiescent) in
+// message-arrival order, which makes the examination equivalent to one at
+// the arrival instant. Under FORCE a hit keeps the copy and refreshes its
+// recency; under NOFORCE the copy leaves the cache as it promotes
+// (single-copy management), carrying its deferred-destage dirty bit.
+func (m *Manager) ApplySharedProbe(key storage.PageKey) (hit, dirty bool) {
+	c := m.remoteShared.cache
+	f, ok := c.Peek(key)
+	if !ok {
+		return false, false
+	}
+	if m.cfg.Force {
+		c.Touch(key)
+		return true, false
+	}
+	c.Remove(key)
+	return true, f.dirty
+}
+
+// ApplySharedPut resolves one remote Put against the cluster-shared
+// cache, on the sending node's manager so an evicted deferred-dirty frame
+// destages through that node's (quiescent) kernel — mirroring the coupled
+// mode, where whoever's insert triggers the eviction pays the destage.
+func (m *Manager) ApplySharedPut(key storage.PageKey, dirty bool) {
+	m.putNVEMInto(m.remoteShared.cache, key, dirty)
 }
 
 // deviceRead reads a page from its partition's disk-unit, honouring the
@@ -372,7 +487,7 @@ func (m *Manager) reserveFrame() (victim storage.PageKey, dirty, haveVictim bool
 func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool, k func()) {
 	a := m.alloc(key.Partition)
 
-	if a.NVEMCache && m.nvemCache != nil {
+	if a.NVEMCache && (m.nvemCache != nil || m.remote != nil) {
 		migrate := a.NVEMCacheMode == MigrateAll ||
 			(dirty && a.NVEMCacheMode == MigrateModified) ||
 			(!dirty && a.NVEMCacheMode == MigrateUnmodified)
@@ -427,7 +542,7 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool,
 func (m *Manager) migrateToNVEM(p *sim.Process, key storage.PageKey, dirty bool, k func()) {
 	m.stats.VictimToNVEM++
 	m.host.NVEMTransfer(p, func() {
-		m.putNVEM(key, dirty)
+		m.insertNVEM(key, dirty)
 		if dirty && !m.cfg.NVEMDeferredDestage {
 			m.startAsyncWrite(key)
 		}
@@ -435,13 +550,29 @@ func (m *Manager) migrateToNVEM(p *sim.Process, key storage.PageKey, dirty bool,
 	})
 }
 
+// insertNVEM routes an NVEM-cache insert: over the interconnect in remote
+// mode, directly into the (private or shared) cache structure otherwise.
+func (m *Manager) insertNVEM(key storage.PageKey, dirty bool) {
+	if m.remote != nil {
+		m.remote.Put(key, dirty)
+		return
+	}
+	m.putNVEM(key, dirty)
+}
+
 // putNVEM inserts into the NVEM cache, destaging an evicted deferred-dirty
 // page in the background.
 func (m *Manager) putNVEM(key storage.PageKey, dirty bool) {
+	m.putNVEMInto(m.nvemCache, key, dirty)
+}
+
+// putNVEMInto is the insert body, shared between the node-local cache and
+// the coordinator-applied shared cache (ApplySharedPut).
+func (m *Manager) putNVEMInto(c *lru.Cache[storage.PageKey, nvemFrame], key storage.PageKey, dirty bool) {
 	if !m.cfg.NVEMDeferredDestage {
 		dirty = false // disk copy is (being made) current
 	}
-	evictedKey, evictedFrame, evicted := m.nvemCache.Put(key, nvemFrame{dirty: dirty})
+	evictedKey, evictedFrame, evicted := c.Put(key, nvemFrame{dirty: dirty})
 	if !evicted || !evictedFrame.dirty {
 		return
 	}
@@ -548,12 +679,12 @@ func (m *Manager) ForcePages(p *sim.Process, keys []storage.PageKey, k func()) {
 			switch {
 			case a.NVEMResident:
 				m.host.NVEMTransfer(p, after)
-			case a.NVEMCache && m.nvemCache != nil:
+			case a.NVEMCache && (m.nvemCache != nil || m.remote != nil):
 				// Force into the NVEM cache; MM copy stays (replication).
 				// Deferred destage pays off exactly here: re-forced pages
 				// overwrite their dirty NVEM copy without another disk write.
 				m.host.NVEMTransfer(p, func() {
-					m.putNVEM(key, true)
+					m.insertNVEM(key, true)
 					if !m.cfg.NVEMDeferredDestage {
 						m.startAsyncWrite(key)
 					}

@@ -43,7 +43,18 @@ func (c *SharedNVEMCache) Len() int { return c.cache.Len() }
 // shared cache's capacity wins. A nil shared is equivalent to New.
 func NewShared(cfg Config, partitionNames []string, units []*storage.DiskUnit,
 	nvem *storage.NVEM, host Host, shared *SharedNVEMCache) (*Manager, error) {
-	return newManager(cfg, partitionNames, units, nvem, host, shared)
+	return newManager(cfg, partitionNames, units, nvem, host, shared, nil)
+}
+
+// NewRemote builds a node's buffer manager for a parallel (PDES) cluster
+// with a shared NVEM cache: every shared-cache operation travels through
+// remote — a lookahead-respecting interconnect — instead of touching the
+// structure, and the cluster coordinator applies it at a barrier via
+// ApplySharedProbe / ApplySharedPut. shared is kept only for those entry
+// points and for occupancy reporting.
+func NewRemote(cfg Config, partitionNames []string, units []*storage.DiskUnit,
+	nvem *storage.NVEM, host Host, shared *SharedNVEMCache, remote RemoteNVEMCache) (*Manager, error) {
+	return newManager(cfg, partitionNames, units, nvem, host, shared, remote)
 }
 
 // Invalidate drops this node's copies of key because a remote node is
@@ -88,7 +99,7 @@ func (m *Manager) Invalidate(key storage.PageKey) (had, dirty bool) {
 			m.host.NVEMTransfer(ap, nop)
 		})
 	case a.NVEMCache && m.sharedNVEM:
-		m.putNVEM(key, true)
+		m.insertNVEM(key, true)
 		if !m.cfg.NVEMDeferredDestage {
 			m.startAsyncWrite(key)
 		}

@@ -73,6 +73,16 @@ type ClusterConfig struct {
 	// the buffer configuration uses no NVEM cache).
 	SharedNVEMCache bool
 
+	// NVEMAccessDelayMS is the modeled interconnect latency of one
+	// shared-NVEM-cache access (probe, insert, dirty hand-off). The
+	// coupled engine resolves coherence instantaneously and ignores it;
+	// under PDES it is what makes a shared cache parallelizable at all —
+	// every coherence action becomes a cross-node message arriving this
+	// many milliseconds later, and the barrier lookahead becomes
+	// min(LockMsgDelayMS, NVEMAccessDelayMS). PDES + SharedNVEMCache is
+	// therefore rejected unless this is positive.
+	NVEMAccessDelayMS float64
+
 	// GlobalLocks routes every lock request through one cluster-wide lock
 	// manager. Each request costs InstrLockMsg instructions of message
 	// pathlength on the requesting node's CPU plus a LockMsgDelayMS round
@@ -102,8 +112,9 @@ type ClusterConfig struct {
 
 	// PDES runs the cluster as a conservative parallel simulation: one
 	// kernel and private storage per node, cross-node events exchanged at
-	// LockMsgDelayMS lookahead barriers (pdes.go). Incompatible with
-	// SharedNVEMCache, whose coherence has zero lookahead.
+	// lookahead barriers (pdes.go). Compatible with SharedNVEMCache only
+	// when NVEMAccessDelayMS is positive — instantaneous coherence has
+	// zero lookahead and cannot be parallelized conservatively.
 	PDES PDESConfig
 }
 
@@ -121,6 +132,9 @@ func (c *ClusterConfig) Validate() error {
 	if c.SharedNVEMCache && c.Base.Buffer.NVEMCacheSize <= 0 {
 		return fmt.Errorf("core: SharedNVEMCache with NVEMCacheSize = %d", c.Base.Buffer.NVEMCacheSize)
 	}
+	if c.NVEMAccessDelayMS < 0 {
+		return fmt.Errorf("core: NVEMAccessDelayMS = %v", c.NVEMAccessDelayMS)
+	}
 	if err := c.Failure.validate(c.NumNodes, c.Base.MeasureMS); err != nil {
 		return err
 	}
@@ -136,8 +150,8 @@ func (c *ClusterConfig) Validate() error {
 	if err := c.PDES.validate(); err != nil {
 		return err
 	}
-	if c.PDES.Enabled && c.SharedNVEMCache {
-		return fmt.Errorf("core: PDES cannot run a shared NVEM cache (zero-lookahead coherence)")
+	if c.PDES.Enabled && c.SharedNVEMCache && c.NVEMAccessDelayMS <= 0 {
+		return fmt.Errorf("core: PDES with a shared NVEM cache requires NVEMAccessDelayMS > 0 (instantaneous coherence has zero lookahead); set ClusterConfig.NVEMAccessDelayMS")
 	}
 	if c.TimelineBucketMS < 0 {
 		return fmt.Errorf("core: TimelineBucketMS = %v", c.TimelineBucketMS)
@@ -191,12 +205,22 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		pdes:             cfg.PDES,
 	}
 	if cfg.PDES.Enabled {
-		// The barrier horizon is the lock-message latency even when global
+		// The lock-message latency governs lock traffic even when global
 		// locking is off: it is the model's inter-node messaging latency,
-		// and invalidations and reroutes travel at the same speed.
-		opts.pdesLookahead = cfg.LockMsgDelayMS
-		if opts.pdesLookahead == 0 {
-			opts.pdesLookahead = DefaultLockMsgDelayMS
+		// and invalidations and reroutes travel at the same speed. With a
+		// shared NVEM cache, coherence traffic instead travels at the NVEM
+		// access latency, and the barrier horizon is the smaller of the two
+		// (no message may arrive inside the window that sent it).
+		opts.pdesLockDelay = cfg.LockMsgDelayMS
+		if opts.pdesLockDelay == 0 {
+			opts.pdesLockDelay = DefaultLockMsgDelayMS
+		}
+		opts.pdesLookahead = opts.pdesLockDelay
+		if cfg.SharedNVEMCache {
+			opts.nvemAccessDelay = cfg.NVEMAccessDelayMS
+			if opts.nvemAccessDelay < opts.pdesLookahead {
+				opts.pdesLookahead = opts.nvemAccessDelay
+			}
 		}
 	}
 	if cfg.GlobalLocks {
@@ -249,9 +273,14 @@ type clusterOpts struct {
 	admission        AdmissionConfig
 
 	// pdes switches the build to per-node kernels and storage;
-	// pdesLookahead is the resolved barrier horizon (ms).
-	pdes          PDESConfig
-	pdesLookahead float64
+	// pdesLookahead is the resolved barrier horizon (ms), pdesLockDelay
+	// the resolved lock/invalidate/reroute message latency, and
+	// nvemAccessDelay the shared-NVEM-cache access latency (positive only
+	// when a shared cache runs under PDES).
+	pdes            PDESConfig
+	pdesLookahead   float64
+	pdesLockDelay   float64
+	nvemAccessDelay float64
 }
 
 // cluster wires shared storage and N nodes into one simulation kernel —
@@ -309,6 +338,12 @@ func newCluster(seed int64, nodeCfgs []Config, opts clusterOpts) (*cluster, erro
 		// Parallel build: no shared kernel and no shared storage — each
 		// node constructs its own devices in newNode.
 		c.pdes = newPDES(c, len(nodeCfgs), sim.Time(opts.pdesLookahead), opts.pdes.Workers)
+		if opts.pdesLockDelay > 0 {
+			c.pdes.lockDelay = sim.Time(opts.pdesLockDelay)
+		}
+		if opts.nvemAccessDelay > 0 {
+			c.pdes.cohDelay = sim.Time(opts.nvemAccessDelay)
+		}
 	} else {
 		c.s = sim.New()
 		unitRnd := rng.NewStream(seed, "disk-units")

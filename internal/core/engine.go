@@ -174,7 +174,17 @@ func newNode(c *cluster, id, numNodes int, seed int64, cfg Config) (*node, error
 	for i := range cfg.Partitions {
 		names[i] = cfg.Partitions[i].Name
 	}
-	bm, err := buffer.NewShared(cfg.Buffer, names, n.units, n.nvem, n, c.shared)
+	var bm *buffer.Manager
+	var err error
+	if c.pdes != nil && c.shared != nil {
+		// Parallel shared cache: the node reaches it only through the
+		// lookahead interconnect; the coordinator applies the operations at
+		// barriers (pdes.go).
+		bm, err = buffer.NewRemote(cfg.Buffer, names, n.units, n.nvem, n, c.shared,
+			&pdesNVEMBus{pd: c.pdes, e: n})
+	} else {
+		bm, err = buffer.NewShared(cfg.Buffer, names, n.units, n.nvem, n, c.shared)
+	}
 	if err != nil {
 		return nil, err
 	}

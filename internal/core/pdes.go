@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cc"
 	"repro/internal/sim"
@@ -16,22 +16,26 @@ import (
 //
 // Each node becomes one logical process with its own kernel, disk units and
 // NVEM; the only interactions that cross node boundaries — global
-// lock-manager traffic, write-invalidate coherence and crash rerouting —
-// already pay at least the LockMsgDelayMS message latency in the model.
-// That latency is the lookahead: every kernel can safely run
+// lock-manager traffic, write-invalidate coherence, shared-NVEM-cache
+// probes and destages, and crash rerouting — already pay a message latency
+// in the model: LockMsgDelayMS for lock traffic and rerouting,
+// NVEMAccessDelayMS for coherence traffic against a shared NVEM cache. The
+// smaller of the two is the lookahead: every kernel can safely run
 // [T, T+lookahead] without seeing its peers, because anything a peer sends
 // during that window arrives strictly after T+lookahead's window began. The
 // coordinator therefore alternates two steps: deliver all messages whose
 // arrival falls inside the next window (single-threaded, sorted by
 // (arrive, sender, sender-sequence) so the schedule is independent of the
-// worker count), then let every kernel run the window in parallel.
+// worker count), then let every kernel run the window in parallel (the
+// spin-then-park barrier in barrier.go).
 //
 // Determinism contract: a PDES run's per-node Results are identical for
 // every Workers value, because cross-node state is only touched at
 // barriers, in sorted order, on the coordinator. PDES is not event-for-
 // event identical to the coupled single-kernel mode — the coupled mode
-// resolves lock verdicts and invalidations instantaneously at shared
-// state, which has zero lookahead by construction.
+// resolves lock verdicts, invalidations and shared-cache probes
+// instantaneously at shared state, which has zero lookahead by
+// construction.
 
 // PDESConfig switches a cluster run to the conservative parallel engine.
 type PDESConfig struct {
@@ -58,6 +62,8 @@ const (
 	pdesLockRelease
 	pdesInvalidate
 	pdesReroute
+	pdesNVEMProbe
+	pdesNVEMPut
 )
 
 // pdesMsg is one cross-node event in flight: sent by node from's logical
@@ -76,8 +82,10 @@ type pdesMsg struct {
 	mode cc.Mode
 	k    func(bool)
 
-	// Coherence.
-	key storage.PageKey
+	// Coherence / shared-cache traffic.
+	key   storage.PageKey
+	dirty bool
+	nk    func(hit, dirty bool)
 
 	// Rerouted arrival.
 	tx workload.Tx
@@ -91,24 +99,37 @@ type pdesState struct {
 	lookahead sim.Time
 	workers   int
 
+	// lockDelay is the latency of lock-manager and reroute messages;
+	// cohDelay the latency of coherence traffic (invalidations and shared-
+	// NVEM-cache probes/destages). Without a shared cache both equal the
+	// lookahead; with one, lookahead = min(lockDelay, cohDelay), so every
+	// message still arrives at or after the next window's start.
+	lockDelay sim.Time
+	cohDelay  sim.Time
+
 	// outboxes[i] collects node i's messages during a window; only node
 	// i's logical process appends, so windows need no message locking.
+	// Slices are reused across windows.
 	outboxes [][]pdesMsg
 	seqs     []uint64
 	inbox    []pdesMsg // reusable merge buffer, coordinator-only
+
+	// pending counts queued messages across all outboxes, so an empty
+	// barrier skips the merge entirely (O(1) instead of sweeping every
+	// outbox per window). Atomic: senders append from parallel kernels.
+	pending atomic.Int64
 
 	// msgTime is the arrival instant of the message currently being
 	// applied at a barrier. Grant callbacks fired by the global lock
 	// manager during a release read it to timestamp the wakeup.
 	msgTime sim.Time
 
-	start []chan sim.Time
-	wg    sync.WaitGroup
+	barrier *pdesBarrier // non-nil when workers > 1
 }
 
 // newPDES builds the per-node kernels and (for Workers > 1) the persistent
-// worker pool. lookahead must be positive — it is the resolved
-// LockMsgDelayMS of the cluster.
+// worker pool. lookahead must be positive — it is the resolved message
+// latency floor of the cluster.
 func newPDES(c *cluster, numNodes int, lookahead sim.Time, workers int) *pdesState {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -119,6 +140,8 @@ func newPDES(c *cluster, numNodes int, lookahead sim.Time, workers int) *pdesSta
 	pd := &pdesState{
 		c:         c,
 		lookahead: lookahead,
+		lockDelay: lookahead,
+		cohDelay:  lookahead,
 		workers:   workers,
 		kernels:   make([]*sim.Sim, numNodes),
 		outboxes:  make([][]pdesMsg, numNodes),
@@ -128,37 +151,16 @@ func newPDES(c *cluster, numNodes int, lookahead sim.Time, workers int) *pdesSta
 		pd.kernels[i] = sim.New()
 	}
 	if pd.workers > 1 {
-		pd.startWorkers()
+		pd.barrier = newPDESBarrier(pd.kernels, pd.workers)
 	}
 	return pd
 }
 
-// startWorkers launches the persistent pool: worker j owns every kernel
-// with index ≡ j (mod workers), so a kernel is only ever touched by one
-// goroutine per window. The channel send publishes the coordinator's
-// barrier work to the worker; wg.Done publishes the window back.
-func (pd *pdesState) startWorkers() {
-	pd.start = make([]chan sim.Time, pd.workers)
-	for j := range pd.start {
-		ch := make(chan sim.Time, 1)
-		pd.start[j] = ch
-		go func(j int, ch chan sim.Time) {
-			for w := range ch {
-				for i := j; i < len(pd.kernels); i += pd.workers {
-					pd.kernels[i].Run(w)
-				}
-				pd.wg.Done()
-			}
-		}(j, ch)
-	}
-}
-
 // stop shuts the worker pool down (idempotent).
 func (pd *pdesState) stop() {
-	for _, ch := range pd.start {
-		close(ch)
+	if pd.barrier != nil {
+		pd.barrier.stop()
 	}
-	pd.start = nil
 }
 
 // run drives the phase schedule: windows of one lookahead, a message
@@ -187,65 +189,77 @@ func (pd *pdesState) run(steps []phaseStep) {
 
 // runWindow advances every kernel to w.
 func (pd *pdesState) runWindow(w sim.Time) {
-	if pd.workers == 1 {
-		for _, k := range pd.kernels {
-			k.Run(w)
-		}
+	if pd.barrier != nil {
+		pd.barrier.runWindow(w)
 		return
 	}
-	pd.wg.Add(pd.workers)
-	for _, ch := range pd.start {
-		ch <- w
+	for _, k := range pd.kernels {
+		k.Run(w)
 	}
-	pd.wg.Wait()
 }
 
 // send queues one message from its sender's logical process. Called only
 // from the sending node's kernel (or from the coordinator at a barrier,
-// e.g. crash-time lock releases — the pool is quiescent either way).
+// e.g. crash-time lock releases — outbox and sequence slots are per-node
+// either way, so only the pending count needs an atomic).
 func (pd *pdesState) send(m pdesMsg) {
 	pd.seqs[m.from]++
 	m.seq = pd.seqs[m.from]
 	pd.outboxes[m.from] = append(pd.outboxes[m.from], m)
+	pd.pending.Add(1)
 }
 
 // sendLockReq ships a lock request to the global lock manager; the verdict
 // materializes at the message's arrival.
 func (pd *pdesState) sendLockReq(e *node, txn cc.TxnID, g cc.Granule, mode cc.Mode, k func(bool)) {
-	pd.send(pdesMsg{kind: pdesLockReq, from: e.id, arrive: e.s.Now() + pd.lookahead,
+	pd.send(pdesMsg{kind: pdesLockReq, from: e.id, arrive: e.s.Now() + pd.lockDelay,
 		txn: txn, g: g, mode: mode, k: k})
 }
 
 // sendLockRelease ships a one-way release of every lock txn holds.
 func (pd *pdesState) sendLockRelease(e *node, txn cc.TxnID) {
-	pd.send(pdesMsg{kind: pdesLockRelease, from: e.id, arrive: e.s.Now() + pd.lookahead, txn: txn})
+	pd.send(pdesMsg{kind: pdesLockRelease, from: e.id, arrive: e.s.Now() + pd.lockDelay, txn: txn})
 }
 
 // sendInvalidate broadcasts a write-invalidation for key.
 func (pd *pdesState) sendInvalidate(e *node, key storage.PageKey) {
-	pd.send(pdesMsg{kind: pdesInvalidate, from: e.id, arrive: e.s.Now() + pd.lookahead, key: key})
+	pd.send(pdesMsg{kind: pdesInvalidate, from: e.id, arrive: e.s.Now() + pd.cohDelay, key: key})
 }
 
 // sendReroute ships an arrival that hit a non-running node to the
 // coordinator; the reconnect decision needs cluster-wide state (survivor
 // phases, queue lengths) and is taken at the barrier.
 func (pd *pdesState) sendReroute(e *node, tx workload.Tx) {
-	pd.send(pdesMsg{kind: pdesReroute, from: e.id, arrive: e.s.Now() + pd.lookahead, tx: tx})
+	pd.send(pdesMsg{kind: pdesReroute, from: e.id, arrive: e.s.Now() + pd.lockDelay, tx: tx})
+}
+
+// sendNVEMProbe ships a shared-NVEM-cache lookup; the verdict (and, under
+// NOFORCE, the promoted copy's dirty bit) materializes at the message's
+// arrival on the requesting node.
+func (pd *pdesState) sendNVEMProbe(e *node, key storage.PageKey, nk func(hit, dirty bool)) {
+	pd.send(pdesMsg{kind: pdesNVEMProbe, from: e.id, arrive: e.s.Now() + pd.cohDelay, key: key, nk: nk})
+}
+
+// sendNVEMPut ships a one-way page insert into the shared NVEM cache
+// (victim migration, FORCE destage, or a coherence hand-off).
+func (pd *pdesState) sendNVEMPut(e *node, key storage.PageKey, dirty bool) {
+	pd.send(pdesMsg{kind: pdesNVEMPut, from: e.id, arrive: e.s.Now() + pd.cohDelay, key: key, dirty: dirty})
 }
 
 // deliver merges every outbox and applies the batch in (arrive, from, seq)
 // order. All pending arrivals fall inside the window about to run: a
-// message sent at T arrives at T+lookahead, and windows are at most one
-// lookahead wide.
+// message sent at T travels at least one lookahead, and windows are at
+// most one lookahead wide. When no node sent anything the barrier is
+// empty and the merge is skipped outright.
 func (pd *pdesState) deliver() {
+	if pd.pending.Load() == 0 {
+		return
+	}
+	pd.pending.Store(0)
 	batch := pd.inbox[:0]
 	for i := range pd.outboxes {
 		batch = append(batch, pd.outboxes[i]...)
 		pd.outboxes[i] = pd.outboxes[i][:0]
-	}
-	if len(batch) == 0 {
-		pd.inbox = batch
-		return
 	}
 	sort.Slice(batch, func(i, j int) bool {
 		a, b := &batch[i], &batch[j]
@@ -345,5 +359,36 @@ func (pd *pdesState) dispatch(m *pdesMsg) {
 			tgt, tx := target, m.tx
 			tgt.s.Spawn("tx", m.arrive-tgt.s.Now(), func(tp *sim.Process) { tgt.runTx(tp, tx) })
 		}
+	case pdesNVEMProbe:
+		// Shared-cache lookup on the requester's behalf. The cache is
+		// examined (and, under NOFORCE, the copy removed) here at the
+		// barrier in arrival order — equivalent to examining it at the
+		// arrival instant, because every shared-cache mutation happens at
+		// barriers in the same total order. The verdict reaches the
+		// requesting kernel at the arrival instant.
+		e := c.nodes[m.from]
+		hit, dirty := e.bm.ApplySharedProbe(m.key)
+		nk := m.nk
+		e.s.Schedule(m.arrive-e.s.Now(), func() { nk(hit, dirty) })
+	case pdesNVEMPut:
+		// One-way insert; an evicted deferred-dirty frame destages on the
+		// sender's (quiescent) kernel, mirroring the coupled mode where
+		// whoever's Put triggers the eviction pays the destage.
+		c.nodes[m.from].bm.ApplySharedPut(m.key, m.dirty)
 	}
+}
+
+// pdesNVEMBus routes one node's shared-NVEM-cache operations over the
+// message layer; it implements buffer.RemoteNVEMCache.
+type pdesNVEMBus struct {
+	pd *pdesState
+	e  *node
+}
+
+func (b *pdesNVEMBus) Probe(key storage.PageKey, k func(hit, dirty bool)) {
+	b.pd.sendNVEMProbe(b.e, key, k)
+}
+
+func (b *pdesNVEMBus) Put(key storage.PageKey, dirty bool) {
+	b.pd.sendNVEMPut(b.e, key, dirty)
 }

@@ -6,12 +6,21 @@ import (
 )
 
 // pdesCluster builds a PDES-enabled Debit-Credit cluster over the
-// dcCluster template (global locking on, shared NVEM off — the parallel
-// engine rejects a shared cache).
+// dcCluster template (global locking on, shared NVEM off).
 func pdesCluster(t *testing.T, nodes int, aggregateRate float64, workers int) ClusterConfig {
 	t.Helper()
 	cfg := dcCluster(t, nodes, aggregateRate, false)
 	cfg.PDES = PDESConfig{Enabled: true, Workers: workers}
+	return cfg
+}
+
+// pdesSharedCluster builds a PDES cluster with the cluster-shared NVEM
+// cache and the positive access latency that makes it parallelizable.
+func pdesSharedCluster(t *testing.T, nodes int, aggregateRate float64, workers int) ClusterConfig {
+	t.Helper()
+	cfg := dcCluster(t, nodes, aggregateRate, true)
+	cfg.PDES = PDESConfig{Enabled: true, Workers: workers}
+	cfg.NVEMAccessDelayMS = 0.15
 	return cfg
 }
 
@@ -90,6 +99,103 @@ func TestPDESFailureWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestPDESWorkerCountInvariant256 pins the determinism contract at the
+// scale the barrier fast path exists for: 256 kernels, every supported
+// worker count, short windows so the pin stays cheap enough for -race CI.
+func TestPDESWorkerCountInvariant256(t *testing.T) {
+	build := func(workers int) ClusterConfig {
+		cfg := pdesCluster(t, 256, 2560, workers)
+		cfg.Base.WarmupMS = 150
+		cfg.Base.MeasureMS = 300
+		return cfg
+	}
+	serial := runPDES(t, build(1))
+	if serial.Cluster.Commits == 0 {
+		t.Fatal("256-node PDES run produced no commits")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parallel := runPDES(t, build(workers))
+		for i := range serial.Nodes {
+			if !reflect.DeepEqual(serial.Nodes[i], parallel.Nodes[i]) {
+				t.Fatalf("workers=%d: node %d diverged from the serial run:\n%+v\nvs\n%+v",
+					workers, i, parallel.Nodes[i], serial.Nodes[i])
+			}
+		}
+		if got, want := parallel.Report(), serial.Report(); got != want {
+			t.Fatalf("workers=%d: report diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestPDESCrash256 is the 256-node crash scenario CI runs under the race
+// detector: a mid-window crash with rerouted arrivals and redo recovery,
+// replayed serially and on the full 8-worker barrier pool. Divergence or
+// a data race here means the fast-path barrier broke the contract under
+// the hardest schedule at full scale.
+func TestPDESCrash256(t *testing.T) {
+	build := func(workers int) ClusterConfig {
+		cfg := pdesCluster(t, 256, 2560, workers)
+		cfg.Base.WarmupMS = 150
+		cfg.Base.MeasureMS = 300
+		cfg.Base.Buffer.CheckpointIntervalMS = 200
+		cfg.Failure = FailureConfig{Enabled: true, Node: 17, CrashAtMS: 200, RebootMS: 150}
+		return cfg
+	}
+	serial := runPDES(t, build(1))
+	if serial.Cluster.Restart == nil {
+		t.Fatal("crash injected but no restart report")
+	}
+	parallel := runPDES(t, build(8))
+	for i := range serial.Nodes {
+		if !reflect.DeepEqual(serial.Nodes[i], parallel.Nodes[i]) {
+			t.Fatalf("node %d diverged across worker counts:\n%+v\nvs\n%+v",
+				i, parallel.Nodes[i], serial.Nodes[i])
+		}
+	}
+	if got, want := parallel.Report(), serial.Report(); got != want {
+		t.Fatalf("256-node crash report diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestPDESSharedNVEMWorkerCountInvariant pins the newest cross-node
+// traffic class — shared-NVEM-cache probes, inserts and dirty hand-offs
+// travelling as lookahead messages — to the same worker-count contract,
+// and checks the shared cache actually serves remote hits under PDES.
+func TestPDESSharedNVEMWorkerCountInvariant(t *testing.T) {
+	serial := runPDES(t, pdesSharedCluster(t, 3, 300, 1))
+	if serial.Cluster.Commits == 0 {
+		t.Fatal("shared-NVEM PDES run produced no commits")
+	}
+	if serial.Cluster.Buffer.NVEMCacheHits == 0 {
+		t.Fatal("shared NVEM cache under PDES served no hits")
+	}
+	if serial.Cluster.Invalidations == 0 {
+		t.Fatal("write-invalidate coherence under PDES recorded no invalidations")
+	}
+	for _, workers := range []int{2, 4, 0} {
+		parallel := runPDES(t, pdesSharedCluster(t, 3, 300, workers))
+		for i := range serial.Nodes {
+			if !reflect.DeepEqual(serial.Nodes[i], parallel.Nodes[i]) {
+				t.Fatalf("workers=%d: node %d diverged from the serial run:\n%+v\nvs\n%+v",
+					workers, i, parallel.Nodes[i], serial.Nodes[i])
+			}
+		}
+		if got, want := parallel.Report(), serial.Report(); got != want {
+			t.Fatalf("workers=%d: report diverged:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestPDESSharedNVEMRepeatable: the shared-cache configuration renders
+// identical reports across two runs (the golden corpus relies on it).
+func TestPDESSharedNVEMRepeatable(t *testing.T) {
+	a := runPDES(t, pdesSharedCluster(t, 2, 200, 2))
+	b := runPDES(t, pdesSharedCluster(t, 2, 200, 2))
+	if ar, br := a.Report(), b.Report(); ar != br {
+		t.Fatalf("shared-NVEM PDES runs diverged:\n%s\nvs\n%s", ar, br)
+	}
+}
+
 // TestPDESRepeatable: two PDES runs of one configuration render identical
 // reports (the cluster-level determinism the golden corpus relies on).
 func TestPDESRepeatable(t *testing.T) {
@@ -102,10 +208,18 @@ func TestPDESRepeatable(t *testing.T) {
 
 // TestPDESValidate covers the parallel engine's configuration checks.
 func TestPDESValidate(t *testing.T) {
-	bad := dcCluster(t, 2, 200, true) // shared NVEM cache
+	bad := dcCluster(t, 2, 200, true) // shared NVEM cache, no access delay
 	bad.PDES = PDESConfig{Enabled: true}
 	if _, err := RunCluster(bad); err == nil {
-		t.Fatal("PDES with a shared NVEM cache must error")
+		t.Fatal("PDES with a shared NVEM cache and NVEMAccessDelayMS = 0 must error")
+	}
+	bad.NVEMAccessDelayMS = -0.1
+	if _, err := RunCluster(bad); err == nil {
+		t.Fatal("negative NVEMAccessDelayMS must error")
+	}
+	ok := pdesSharedCluster(t, 2, 200, 1)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("PDES with a shared NVEM cache and a positive delay must validate: %v", err)
 	}
 	bad = pdesCluster(t, 2, 200, -1)
 	if _, err := RunCluster(bad); err == nil {

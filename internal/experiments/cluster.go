@@ -45,11 +45,20 @@ type ClusterSetup struct {
 	Arrival   workload.ArrivalSpec
 	Admission core.AdmissionConfig
 
-	// Parallel-simulation knobs (the cluster.scaleout64 experiment): run
-	// the cluster under the conservative PDES engine, one kernel and
-	// private storage per node. Exclusive with SharedNVEM.
-	PDES        bool
-	PDESWorkers int
+	// Parallel-simulation knobs (the cluster.scaleout64/256 experiments):
+	// run the cluster under the conservative PDES engine, one kernel and
+	// private storage per node. Combining PDES with SharedNVEM requires a
+	// positive NVEMAccessDelayMS — the modeled interconnect latency that
+	// gives shared-cache coherence its lookahead.
+	PDES              bool
+	PDESWorkers       int
+	NVEMAccessDelayMS float64
+
+	// WindowScale scales both simulation windows by the given factor; 0
+	// keeps the standard o.windows() length. The 256-node sweep uses it to
+	// stay affordable — per-node confidence comes from 256 nodes sharing
+	// one window, not from window length.
+	WindowScale float64
 
 	// Per-node storage sizing overrides (0 → the shared-storage defaults
 	// of 12/96 db and 2/8 log controllers/disks). The PDES engine gives
@@ -72,6 +81,10 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 	base := core.Defaults()
 	base.Seed = o.seed()
 	base.WarmupMS, base.MeasureMS = o.windows()
+	if s.WindowScale > 0 {
+		base.WarmupMS *= s.WindowScale
+		base.MeasureMS *= s.WindowScale
+	}
 	base.Arrival = s.Arrival
 
 	gens := make([]workload.Generator, s.Nodes)
@@ -153,14 +166,15 @@ func (s ClusterSetup) Build(o Options) (core.ClusterConfig, error) {
 	}
 
 	cfg := core.ClusterConfig{
-		Base:             base,
-		NumNodes:         s.Nodes,
-		Generators:       gens,
-		SharedNVEMCache:  s.SharedNVEM > 0,
-		GlobalLocks:      s.GlobalLocks,
-		TimelineBucketMS: s.TimelineBucketMS,
-		Admission:        s.Admission,
-		PDES:             core.PDESConfig{Enabled: s.PDES, Workers: s.PDESWorkers},
+		Base:              base,
+		NumNodes:          s.Nodes,
+		Generators:        gens,
+		SharedNVEMCache:   s.SharedNVEM > 0,
+		NVEMAccessDelayMS: s.NVEMAccessDelayMS,
+		GlobalLocks:       s.GlobalLocks,
+		TimelineBucketMS:  s.TimelineBucketMS,
+		Admission:         s.Admission,
+		PDES:              core.PDESConfig{Enabled: s.PDES, Workers: s.PDESWorkers},
 	}
 	if s.CrashAtMS > 0 {
 		cfg.Failure = core.FailureConfig{
@@ -277,8 +291,8 @@ func (o Options) pdesNodeCounts() []float64 {
 // controllers/disks, 500 MM frames), global locking on, so the sweep
 // isolates what scale itself costs — lock-manager round trips and
 // write-invalidate traffic growing with the node count. Private NVEM
-// caches are compared against disk-only nodes (the shared cache has
-// zero-lookahead coherence and cannot run under PDES).
+// caches are compared against disk-only nodes; the shared cache at scale
+// is cluster.scaleout256's subject.
 func ClusterScaleout64(o Options) (*stats.Figure, *stats.Figure, error) {
 	resp := &stats.Figure{
 		Title:  "PDES scale-up at 50 TPS per node (Debit-Credit, global locks, per-node storage)",
@@ -316,6 +330,83 @@ func ClusterScaleout64(o Options) (*stats.Figure, *stats.Figure, error) {
 					DBControllers: 2, DBDisks: 12, LogControllers: 1, LogDisks: 2}.Run(o)
 				if err != nil {
 					return nil, fmt.Errorf("cluster.scaleout64 %s @%d: %w", sc.label, nodes, err)
+				}
+				return res, nil
+			})
+		}
+	}
+	cells, err := g.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, label := range labels {
+		points, cis := seriesOf(cells[si], respMean)
+		if err := resp.AddSeriesCI(label, points, cis); err != nil {
+			return nil, nil, err
+		}
+		tp, tpCI := seriesOf(cells[si], throughput)
+		if err := tput.AddSeriesCI(label, tp, tpCI); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, tput, nil
+}
+
+// pdes256NodeCounts is the node-count sweep of the 256-node experiment.
+func (o Options) pdes256NodeCounts() []float64 {
+	if o.Quick {
+		return []float64{64, 256}
+	}
+	return []float64{64, 128, 256}
+}
+
+// ClusterScaleout256 is the shared-NVEM coherence story at the scale the
+// barrier fast path exists for: 64→256 nodes under PDES, 50 TPS per node
+// with per-node storage, comparing one cluster-shared NVEM cache (2000
+// frames, coherence travelling as NVEMAccessDelayMS interconnect
+// messages) against private 500-frame caches. Windows are scaled down —
+// at 256 nodes one short window already aggregates hundreds of thousands
+// of transactions — and PDESWorkers is pinned so the rendered output is
+// reproducible on any host (worker-count invariance is pinned separately
+// by TestPDESWorkerCountInvariant256).
+func ClusterScaleout256(o Options) (*stats.Figure, *stats.Figure, error) {
+	resp := &stats.Figure{
+		Title:  "PDES scale-up to 256 nodes (Debit-Credit, shared vs. private NVEM cache)",
+		XLabel: "nodes",
+		YLabel: "mean response time [ms]",
+		X:      o.pdes256NodeCounts(),
+	}
+	tput := &stats.Figure{
+		Title:  "PDES scale-up to 256 nodes: aggregate throughput",
+		XLabel: "nodes",
+		YLabel: "committed TPS",
+		X:      o.pdes256NodeCounts(),
+	}
+	type scheme struct {
+		label           string
+		shared, private int
+	}
+	schemes := []scheme{
+		{"shared-nvem", 2000, 0},
+		{"private-nvem", 0, 500},
+	}
+	labels := make([]string, len(schemes))
+	for i, sc := range schemes {
+		labels[i] = sc.label
+	}
+	g := newGrid(o, len(schemes), len(resp.X))
+	for si := range schemes {
+		for xi := range resp.X {
+			si, xi := si, xi
+			g.add(si, xi, func(o Options) (*core.Result, error) {
+				sc, nodes := schemes[si], int(resp.X[xi])
+				res, err := ClusterSetup{Nodes: nodes, AggregateRate: 50 * float64(nodes),
+					MMBuffer: 500, SharedNVEM: sc.shared, PrivateNVEM: sc.private,
+					GlobalLocks: true, PDES: true, PDESWorkers: 4,
+					NVEMAccessDelayMS: 0.15, WindowScale: 0.2,
+					DBControllers: 2, DBDisks: 12, LogControllers: 1, LogDisks: 2}.Run(o)
+				if err != nil {
+					return nil, fmt.Errorf("cluster.scaleout256 %s @%d: %w", sc.label, nodes, err)
 				}
 				return res, nil
 			})

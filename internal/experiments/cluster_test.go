@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// scaleout256Point is the cluster.scaleout256 shared-NVEM point at 256
+// nodes, window-scaled further down so running it at four worker counts
+// stays affordable in CI.
+func scaleout256Point(workers int) ClusterSetup {
+	return ClusterSetup{Nodes: 256, AggregateRate: 50 * 256,
+		MMBuffer: 500, SharedNVEM: 2000,
+		GlobalLocks: true, PDES: true, PDESWorkers: workers,
+		NVEMAccessDelayMS: 0.15, WindowScale: 0.05,
+		DBControllers: 2, DBDisks: 12, LogControllers: 1, LogDisks: 2}
+}
+
+// TestScaleout256WorkerInvariance pins the cluster.scaleout256 golden's
+// independence from PDESWorkers: the experiment bakes Workers = 4 into
+// its setup, and this test proves any other supported worker count would
+// have rendered the identical result — the golden is a property of the
+// model, not of the host's parallelism.
+func TestScaleout256WorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node sweep")
+	}
+	run := func(workers int) string {
+		t.Helper()
+		res, err := scaleout256Point(workers).Run(quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report()
+	}
+	base := run(1)
+	if base == "" {
+		t.Fatal("empty report")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); got != base {
+			t.Fatalf("PDESWorkers=%d diverged from the serial run:\n%s\nvs\n%s",
+				workers, got, base)
+		}
+	}
+}

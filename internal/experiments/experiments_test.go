@@ -12,8 +12,8 @@ var quick = Options{Quick: true}
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 30 {
-		t.Fatalf("registry has %d experiments, want 30", len(all))
+	if len(all) != 31 {
+		t.Fatalf("registry has %d experiments, want 31", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -27,7 +27,8 @@ func TestRegistry(t *testing.T) {
 	}
 	for _, want := range []string{"fig4.1", "fig4.2", "fig4.3", "fig4.4", "fig4.5",
 		"fig4.6", "fig4.7", "fig4.8", "table4.2a", "table4.2b", "table2.1",
-		"cluster.scaleout", "cluster.scaleout64", "cluster.allocation", "cluster.locking",
+		"cluster.scaleout", "cluster.scaleout64", "cluster.scaleout256",
+		"cluster.allocation", "cluster.locking",
 		"recovery.restart", "recovery.checkpoint", "recovery.availability",
 		"workload.burstiness", "workload.spike-crash", "workload.diurnal"} {
 		if !seen[want] {

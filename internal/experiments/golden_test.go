@@ -52,6 +52,7 @@ func TestGoldenOutputs(t *testing.T) {
 		"recovery.availability":      {"shared-nvem", "private-nvem", "Restart breakdown", "restart-ms"},
 		"cluster.scaleout":           {"shared-nvem", "disk-only", "shared-nvem:nvem"},
 		"cluster.scaleout64":         {"private-nvem", "disk-only", "committed TPS"},
+		"cluster.scaleout256":        {"shared-nvem", "private-nvem", "committed TPS"},
 		"workload.burstiness":        {"disk", "log-nvem", "db+log-nvem", "burst-state rate multiplier"},
 		"workload.spike-crash":       {"admission-off", "admission-on", "survivor-resp-ms", "shed"},
 		"workload.diurnal":           {"log-single-disk", "log-nvem", "amplitude"},

@@ -308,6 +308,17 @@ func All() []Experiment {
 			},
 		},
 		{
+			Name:  "cluster.scaleout256",
+			Title: "256-node scale-up under PDES: shared vs. private NVEM cache coherence",
+			Run: func(o Options) (string, error) {
+				resp, tput, err := ClusterScaleout256(o)
+				if err != nil {
+					return "", err
+				}
+				return resp.Render() + "\n" + tput.Render(), nil
+			},
+		},
+		{
 			Name:  "cluster.allocation",
 			Title: "Shared vs. private NVEM caches on a 4-node data-sharing cluster",
 			Run: func(o Options) (string, error) {

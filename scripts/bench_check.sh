@@ -1,16 +1,24 @@
 #!/bin/sh
-# Benchstat-style regression gate for the kernel hot path: runs
-# BenchmarkKernelHeap10M fresh and compares its ns/op against the newest
-# committed BENCH_<date>.json snapshot. The run must not be slower than the
-# baseline by more than the tolerance (a one-iteration run on shared CI
-# hardware is noisy; real regressions on a 10M-event stressor dwarf 30%).
+# Benchstat-style regression gate for the simulator's hot paths: runs each
+# gated benchmark fresh and compares its ns/op against the newest committed
+# BENCH_<date>.json snapshot. The run must not be slower than the baseline
+# by more than the tolerance (a one-iteration run on shared CI hardware is
+# noisy; real regressions on these stressors dwarf 30%).
+#
+# BenchmarkPDESScaleout additionally reports the wall-clock speedup of the
+# 8-worker barrier pool over the serial coordinator; that speedup is gated
+# against a floor scaled to the host's core count — 2.5x on 8+ cores,
+# proportionally less below, and never under 0.6x (a broken barrier that
+# burns cores spinning shows up as a collapse well past that even on one
+# core).
 #
 # Usage:
-#   ./scripts/bench_check.sh                    # default bench + tolerance
+#   ./scripts/bench_check.sh                    # default benches + tolerance
 #   BENCH=BenchmarkSimKernel TOLERANCE=50 ./scripts/bench_check.sh
+#   SPEEDUP_FLOOR=3.0 ./scripts/bench_check.sh  # override the scaled floor
 set -eu
 cd "$(dirname "$0")/.."
-bench="${BENCH:-BenchmarkKernelHeap10M}"
+benches="${BENCH:-BenchmarkKernelHeap10M BenchmarkPDESScaleout}"
 tolerance="${TOLERANCE:-30}" # percent slower than baseline that still passes
 
 baseline=$(ls BENCH_*.json | sort | tail -n 1)
@@ -18,28 +26,61 @@ if [ -z "$baseline" ]; then
     echo "bench_check: no BENCH_*.json baseline committed" >&2
     exit 1
 fi
-old=$(sed -n "s/.*\"name\": \"${bench}\".*\"ns\/op\": \([0-9]*\).*/\1/p" "$baseline")
-if [ -z "$old" ]; then
-    echo "bench_check: ${bench} not found in ${baseline}" >&2
-    exit 1
-fi
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench "^${bench}\$" -benchtime 1x . | tee "$tmp"
-new=$(awk -v b="$bench" '$1 ~ "^"b { print $3; exit }' "$tmp")
-if [ -z "$new" ]; then
-    echo "bench_check: ${bench} produced no result" >&2
-    exit 1
-fi
+ncpu=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null) || echo 1)
+speedup_floor="${SPEEDUP_FLOOR:-$(awk -v n="$ncpu" 'BEGIN {
+    f = 2.5 * (n < 8 ? n : 8) / 8
+    if (f < 0.6) f = 0.6
+    printf "%.3f", f
+}')}"
 
-awk -v old="$old" -v new="$new" -v tol="$tolerance" -v bench="$bench" -v base="$baseline" 'BEGIN {
-    delta = 100 * (new - old) / old
-    printf "%-24s  old %.0f ns/op (%s)  new %.0f ns/op  delta %+.1f%% (gate: +%s%%)\n",
-        bench, old, base, new, delta, tol
-    if (delta > tol) {
-        printf "bench_check: %s regressed beyond tolerance\n", bench
+status=0
+for bench in $benches; do
+    old=$(sed -n "s/.*\"name\": \"${bench}\".*\"ns\/op\": \([0-9]*\).*/\1/p" "$baseline")
+
+    tmp="$(mktemp)"
+    go test -run '^$' -bench "^${bench}\$" -benchtime 1x . | tee "$tmp"
+    new=$(awk -v b="$bench" '$1 ~ "^"b { print $3; exit }' "$tmp")
+    if [ -z "$new" ]; then
+        echo "bench_check: ${bench} produced no result" >&2
+        rm -f "$tmp"
         exit 1
-    }
-}'
+    fi
+
+    if [ -z "$old" ]; then
+        # A baseline predating this benchmark: nothing to drift against.
+        echo "${bench}: no baseline in ${baseline}, drift gate skipped"
+    else
+        awk -v old="$old" -v new="$new" -v tol="$tolerance" -v bench="$bench" -v base="$baseline" 'BEGIN {
+            delta = 100 * (new - old) / old
+            printf "%-24s  old %.0f ns/op (%s)  new %.0f ns/op  delta %+.1f%% (gate: +%s%%)\n",
+                bench, old, base, new, delta, tol
+            if (delta > tol) {
+                printf "bench_check: %s regressed beyond tolerance\n", bench
+                exit 1
+            }
+        }' || status=1
+    fi
+
+    if [ "$bench" = "BenchmarkPDESScaleout" ]; then
+        speedup=$(awk -v b="$bench" '$1 ~ "^"b { for (i = 3; i < NF; i++) if ($(i+1) == "speedup") { print $i; exit } }' "$tmp")
+        if [ -z "$speedup" ]; then
+            echo "bench_check: ${bench} reported no speedup metric" >&2
+            rm -f "$tmp"
+            exit 1
+        fi
+        awk -v s="$speedup" -v floor="$speedup_floor" -v n="$ncpu" 'BEGIN {
+            printf "BenchmarkPDESScaleout    speedup %.2fx (floor %.2fx on %d cores)\n", s, floor, n
+            if (s + 0 < floor + 0) {
+                printf "bench_check: PDES speedup below the scaled floor\n"
+                exit 1
+            }
+        }' || status=1
+    fi
+    rm -f "$tmp"
+done
+
+if [ "$status" -ne 0 ]; then
+    exit 1
+fi
 echo "bench_check: ok"
