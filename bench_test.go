@@ -394,22 +394,30 @@ func BenchmarkKernelHeap10M(b *testing.B) {
 	b.ReportMetric(totalEvents, "events/op")
 }
 
-// BenchmarkSimResource measures acquire/hold/release cycles.
+// BenchmarkSimResource measures acquire/hold/release cycles. A warmup pass
+// populates the queue-entry freelist and the calendar queue's buckets so a
+// one-iteration run (the CI snapshot) measures the steady state, not
+// first-touch pool growth.
 func BenchmarkSimResource(b *testing.B) {
 	b.ReportAllocs()
 	s := sim.New()
 	r := s.NewResource("dev", 2)
-	s.Spawn("user", 0, func(p *sim.Process) {
-		n := 0
-		var cycle func()
-		cycle = func() {
-			if n < b.N {
-				n++
-				r.Use(p, 0.5, cycle)
+	spawnCycles := func(n int) {
+		s.Spawn("user", 0, func(p *sim.Process) {
+			i := 0
+			var cycle func()
+			cycle = func() {
+				if i < n {
+					i++
+					r.Use(p, 0.5, cycle)
+				}
 			}
-		}
-		cycle()
-	})
+			cycle()
+		})
+	}
+	spawnCycles(64)
+	s.RunAll()
+	spawnCycles(b.N)
 	b.ResetTimer()
 	s.RunAll()
 }
@@ -429,9 +437,16 @@ func BenchmarkSimBlockingShim(b *testing.B) {
 	s.RunAll()
 }
 
-// BenchmarkLockManager measures uncontended acquire+release pairs.
+// BenchmarkLockManager measures uncontended acquire+release pairs. The
+// warmup cycle builds the lock-table entries and record freelists so a
+// one-iteration run measures the recycled steady state the alloc gate pins.
 func BenchmarkLockManager(b *testing.B) {
+	b.ReportAllocs()
 	m := cc.NewManager(nil)
+	for g := int64(0); g < 8; g++ {
+		m.Acquire(cc.TxnID(-1), cc.Granule{Partition: 0, ID: g}, cc.Write)
+	}
+	m.ReleaseAll(cc.TxnID(-1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txn := cc.TxnID(i)

@@ -32,6 +32,10 @@ type Host interface {
 	NVEMTransfer(p *sim.Process, k func())
 	// SpawnAsync starts a background process (asynchronous disk updates).
 	SpawnAsync(name string, fn func(p *sim.Process))
+	// Sim returns the simulation the module runs in. The manager schedules
+	// its pooled asynchronous operations on it directly — a fresh spawned
+	// process per background write would defeat the pooling.
+	Sim() *sim.Sim
 }
 
 // nop is the terminal continuation of asynchronous writer processes.
@@ -184,6 +188,340 @@ type Manager struct {
 
 	stats     Stats
 	partStats []PartitionStats
+
+	// Zero-allocation machinery for the steady-state paths: the kernel the
+	// manager schedules on, the pooled operation records replacing per-call
+	// continuation closures, recycled group-commit waiter buffers, the
+	// checkpoint dirty-key scratch, and the shared countdown of the
+	// checkpoint flush in flight. The manager belongs to one kernel, so
+	// none of it needs synchronization.
+	sim      *sim.Sim
+	freeOps  *bufOp
+	gcFree   [][]func()
+	ckptKeys []storage.PageKey
+	// ckptRemaining/ckptFinish track the one (non-overlapping) checkpoint
+	// flush in flight; stale flush ops are fenced by their gen snapshot.
+	ckptRemaining int
+	ckptFinish    func()
+}
+
+// poolPoison, when true, fills freed bufOps with sentinel garbage so a
+// missing reset in an issue path surfaces in the pool-contract tests.
+var poolPoison = false
+
+// SetPoolPoison toggles freelist poisoning — a debug hook for the
+// pool-contract tests (including cross-package ones); never enable it in
+// production runs.
+func SetPoolPoison(on bool) { poolPoison = on }
+
+// bufOp stages. Each value names the action taken when step next fires;
+// issue sites set the state (and any successor via the documented flow)
+// before handing step to a host, device or kernel continuation slot.
+const (
+	fxFetch      uint8 = iota // victim disposed: fetch the missed page
+	fxMigrated                // victim's NVEM transfer done: insert, then fetch
+	fxNVEMTouch               // NVEM-hit transfer done: FORCE recency, then done
+	fxReadIO                  // I/O overhead charged: issue the device read
+	fxVictimIO                // I/O overhead charged: issue the victim write
+	fxDone                    // fix complete: run the caller's continuation
+	fcLoop                    // force next eligible page of the commit set
+	fcNVEM                    // force transfer done: insert into the NVEM cache
+	fcWriteIO                 // I/O overhead charged: issue the force write
+	fcAfter                   // one force write durable: clean the frame, loop
+	wbFull                    // write-buffer full: issue the synchronous write
+	wbStored                  // page absorbed in the write buffer: start destage
+	lgIO                      // I/O overhead charged: issue the log page write
+	axEvict                   // NVEM-evict destage: page passes through MM first
+	axWriteStart              // async disk update: charge the I/O overhead
+	axWrite                   // overhead charged: issue the async device write
+	axDone                    // async write durable: release WB frame if any
+	ckFlush                   // checkpoint flush of one page: route by allocation
+	ckWriteIO                 // overhead charged: issue the checkpoint write
+	ckDone                    // one checkpoint page durable: count down
+	gcOpen                    // group opened: wait out the group-commit window
+	gcFlush                   // window over: write the group's single log page
+	gcDone                    // group log write durable: wake every waiter
+)
+
+// bufOp is one in-flight buffer-manager operation — a fix miss, an
+// asynchronous write, a force/checkpoint/log write or a commit group —
+// pooled on the manager's freelist. step is bound once at allocation and
+// the state field selects the next stage, replacing the per-call closure
+// chains: event order, RNG-draw order and statistics order are identical
+// to the closure formulation. proc is the op's own process identity for
+// background work (created lazily, reused for the op's whole pooled
+// lifetime); p is the foreground caller's process.
+type bufOp struct {
+	m           *Manager
+	p           *sim.Process
+	proc        *sim.Process
+	key         storage.PageKey
+	victim      storage.PageKey
+	k           func()
+	ps          *PartitionStats
+	keys        []storage.PageKey // ForcePages commit set (caller-owned)
+	waiters     []func()          // group-commit waiters being flushed
+	i           int               // ForcePages cursor
+	gen         int               // checkpoint generation fence
+	nvemHit     bool
+	victimDirty bool
+	wb          bool // async write must release a write-buffer frame
+	state       uint8
+	step        func()
+	next        *bufOp // freelist link
+}
+
+// getOp pops a recycled op or allocates one with its step bound.
+func (m *Manager) getOp() *bufOp {
+	op := m.freeOps
+	if op == nil {
+		op = &bufOp{m: m}
+		op.step = op.run
+		return op
+	}
+	m.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+// getAsyncOp is getOp plus the op's own background process identity.
+func (m *Manager) getAsyncOp() *bufOp {
+	op := m.getOp()
+	if op.proc == nil {
+		op.proc = m.sim.NewProcess("bm-async")
+	}
+	return op
+}
+
+// putOp returns a finished op to the freelist, dropping its references.
+// proc intentionally survives: it is the op's identity, not request state.
+func (m *Manager) putOp(op *bufOp) {
+	op.p, op.k, op.ps, op.keys, op.waiters = nil, nil, nil, nil, nil
+	if poolPoison {
+		op.key = storage.PageKey{Partition: -1, Page: -1}
+		op.victim = storage.PageKey{Partition: -1, Page: -1}
+		op.i, op.gen = -1, -1
+		op.nvemHit, op.victimDirty, op.wb = true, true, true
+		op.state = 0xff
+	}
+	op.next = m.freeOps
+	m.freeOps = op
+}
+
+// run advances the operation by one stage. It is the single continuation
+// handed out for every pooled path; sync stages tail-call it directly.
+func (op *bufOp) run() {
+	m := op.m
+	switch op.state {
+	case fxFetch:
+		a := m.alloc(op.key.Partition)
+		switch {
+		case a.NVEMResident:
+			m.stats.NVEMReads++
+			op.state = fxDone
+			m.host.NVEMTransfer(op.p, op.step)
+		case op.nvemHit:
+			m.stats.NVEMCacheHits++
+			op.ps.NVEMHits++
+			op.state = fxNVEMTouch
+			m.host.NVEMTransfer(op.p, op.step)
+		default:
+			m.stats.DeviceReads++
+			if a.SyncAccess {
+				op.state = fxDone
+				m.deviceRead(op.p, op.key, op.step)
+			} else {
+				op.state = fxReadIO
+				m.host.IOOverhead(op.p, op.step)
+			}
+		}
+	case fxMigrated:
+		m.insertNVEM(op.victim, op.victimDirty)
+		if op.victimDirty && !m.cfg.NVEMDeferredDestage {
+			m.startAsyncWrite(op.victim)
+		}
+		op.state = fxFetch
+		op.run()
+	case fxNVEMTouch:
+		if m.cfg.Force {
+			// FORCE: replication is unavoidable (section 3.2); keep the
+			// NVEM copy, refresh its recency.
+			m.nvemCache.Touch(op.key)
+		}
+		op.state = fxDone
+		op.run()
+	case fxReadIO:
+		op.state = fxDone
+		m.unitOf(op.key.Partition).Read(op.p, op.key, op.step)
+	case fxVictimIO:
+		op.state = fxFetch
+		m.unitOf(op.victim.Partition).Write(op.p, op.victim, op.step)
+	case fxDone:
+		k := op.k
+		m.putOp(op)
+		k()
+
+	case fcLoop:
+		for op.i < len(op.keys) {
+			key := op.keys[op.i]
+			op.i++
+			a := m.alloc(key.Partition)
+			if a.MMResident {
+				continue // memory-resident partitions use NOFORCE propagation
+			}
+			f, inMM := m.mm.Peek(key)
+			if inMM && !f.dirty {
+				continue // already forced by an earlier access of this txn
+			}
+			if !inMM {
+				continue // replaced earlier; written out during replacement
+			}
+			m.stats.ForceWrites++
+			op.key = key
+			switch {
+			case a.NVEMResident:
+				op.state = fcAfter
+				m.host.NVEMTransfer(op.p, op.step)
+			case a.NVEMCache && (m.nvemCache != nil || m.remote != nil):
+				// Force into the NVEM cache; MM copy stays (replication).
+				// Deferred destage pays off exactly here: re-forced pages
+				// overwrite their dirty NVEM copy without another disk write.
+				op.state = fcNVEM
+				m.host.NVEMTransfer(op.p, op.step)
+			case a.NVEMWriteBuffer:
+				op.state = fcAfter
+				m.writeViaWB(op.p, key, op.step)
+			default:
+				if a.SyncAccess {
+					op.state = fcAfter
+					m.devicePartitionWrite(op.p, key, op.step)
+				} else {
+					op.state = fcWriteIO
+					m.host.IOOverhead(op.p, op.step)
+				}
+			}
+			return
+		}
+		k := op.k
+		m.putOp(op)
+		k()
+	case fcNVEM:
+		m.insertNVEM(op.key, true)
+		if !m.cfg.NVEMDeferredDestage {
+			m.startAsyncWrite(op.key)
+		}
+		op.state = fcAfter
+		op.run()
+	case fcWriteIO:
+		op.state = fcAfter
+		m.unitOf(op.key.Partition).Write(op.p, op.key, op.step)
+	case fcAfter:
+		m.mm.Update(op.key, frame{dirty: false})
+		op.state = fcLoop
+		op.run()
+
+	case wbFull:
+		p, key, k := op.p, op.key, op.k
+		m.putOp(op)
+		m.deviceWriteFor(p, key, k)
+	case wbStored:
+		key, k := op.key, op.k
+		m.putOp(op)
+		m.asyncWrite(key, true)
+		k()
+
+	case lgIO:
+		p, key, k := op.p, op.key, op.k
+		m.putOp(op)
+		m.units[m.cfg.Log.DiskUnit].Write(p, key, k)
+
+	case axEvict:
+		op.state = axWriteStart
+		m.host.NVEMTransfer(op.proc, op.step)
+	case axWriteStart:
+		m.stats.AsyncDiskWrites++
+		op.state = axWrite
+		m.host.IOOverhead(op.proc, op.step)
+	case axWrite:
+		op.state = axDone
+		m.deviceUnitFor(op.key).Write(op.proc, op.key, op.step)
+	case axDone:
+		if op.wb {
+			m.wbInUse--
+		}
+		m.putOp(op)
+
+	case ckFlush:
+		a := m.alloc(op.key.Partition)
+		switch {
+		case a.MMResident:
+			op.state = ckDone
+			op.run()
+		case a.NVEMResident:
+			op.state = ckDone
+			m.host.NVEMTransfer(op.proc, op.step)
+		case a.NVEMWriteBuffer:
+			op.state = ckDone
+			m.writeViaWB(op.proc, op.key, op.step)
+		default:
+			if a.SyncAccess {
+				op.state = ckDone
+				m.devicePartitionWrite(op.proc, op.key, op.step)
+			} else {
+				op.state = ckWriteIO
+				m.host.IOOverhead(op.proc, op.step)
+			}
+		}
+	case ckWriteIO:
+		op.state = ckDone
+		m.unitOf(op.key.Partition).Write(op.proc, op.key, op.step)
+	case ckDone:
+		gen := op.gen
+		m.putOp(op)
+		if m.ckptGen != gen {
+			return // checkpointing was stopped while this flush was in flight
+		}
+		m.ckptRemaining--
+		if m.ckptRemaining == 0 {
+			m.ckptFinish()
+		}
+
+	case gcOpen:
+		op.state = gcFlush
+		op.proc.Hold(m.cfg.GroupCommitWaitMS, op.step)
+	case gcFlush:
+		op.waiters = m.gcWaiters
+		m.gcWaiters = nil
+		m.stats.GroupCommits++
+		// One I/O carries the whole group's log data.
+		op.state = gcDone
+		m.writeLogPage(op.proc, op.step)
+	case gcDone:
+		ws := op.waiters
+		op.waiters = nil
+		for i, w := range ws {
+			m.sim.Schedule(0, w)
+			ws[i] = nil
+		}
+		if cap(ws) > 0 {
+			m.gcFree = append(m.gcFree, ws[:0])
+		}
+		m.putOp(op)
+
+	default:
+		panic(fmt.Sprintf("buffer: bufOp in invalid state %d", op.state))
+	}
+}
+
+// asyncWrite starts a pooled background disk update of key: one +0 event
+// (matching the process spawn it replaces), the per-I/O CPU overhead, then
+// the device write. wb marks a write-buffer destage, whose completion
+// releases the buffered frame.
+func (m *Manager) asyncWrite(key storage.PageKey, wb bool) {
+	op := m.getAsyncOp()
+	op.key, op.wb = key, wb
+	op.state = axWriteStart
+	m.sim.Schedule(0, op.step)
 }
 
 // New builds a buffer manager. units must cover every DiskUnit index in the
@@ -212,6 +550,7 @@ func newManager(cfg Config, partitionNames []string, units []*storage.DiskUnit,
 		mm:           lru.New[storage.PageKey, frame](cfg.BufferSize),
 		logPartition: len(cfg.Partitions),
 		partStats:    make([]PartitionStats, len(cfg.Partitions)),
+		sim:          host.Sim(),
 	}
 	switch {
 	case remote != nil:
@@ -330,32 +669,68 @@ func (m *Manager) Fix(p *sim.Process, key storage.PageKey, write bool, k func())
 	// are paid afterwards.
 	victim, victimDirty, haveVictim := m.reserveFrame()
 	m.mm.Put(key, frame{dirty: write || nvemDirty})
-	fetch := func() {
-		switch {
-		case a.NVEMResident:
-			m.stats.NVEMReads++
-			m.host.NVEMTransfer(p, k)
-		case nvemHit:
-			m.stats.NVEMCacheHits++
-			ps.NVEMHits++
-			m.host.NVEMTransfer(p, func() {
-				if m.cfg.Force {
-					// FORCE: replication is unavoidable (section 3.2); keep
-					// the NVEM copy, refresh its recency.
-					m.nvemCache.Touch(key)
-				}
-				k()
-			})
-		default:
-			m.stats.DeviceReads++
-			m.deviceRead(p, key, k)
-		}
-	}
+	op := m.getOp()
+	op.p, op.key, op.k, op.ps = p, key, k, ps
+	op.nvemHit = nvemHit
+	op.state = fxFetch
 	if haveVictim {
-		m.disposeVictim(p, victim, victimDirty, fetch)
+		op.victim, op.victimDirty = victim, victimDirty
+		m.disposeVictimOp(op)
 		return
 	}
-	fetch()
+	op.run()
+}
+
+// disposeVictimOp routes op.victim according to its partition's allocation
+// (the pooled formulation of disposeVictim); op continues at op.state —
+// fxFetch — once the victim stops delaying the fixer.
+func (m *Manager) disposeVictimOp(op *bufOp) {
+	key, dirty := op.victim, op.victimDirty
+	a := m.alloc(key.Partition)
+
+	if a.NVEMCache && (m.nvemCache != nil || m.remote != nil) {
+		migrate := a.NVEMCacheMode == MigrateAll ||
+			(dirty && a.NVEMCacheMode == MigrateModified) ||
+			(!dirty && a.NVEMCacheMode == MigrateUnmodified)
+		if migrate {
+			m.stats.VictimToNVEM++
+			op.state = fxMigrated
+			m.host.NVEMTransfer(op.p, op.step)
+			return
+		}
+	}
+
+	if !dirty {
+		if !a.NVEMResident {
+			m.stats.CleanDrops++
+		}
+		op.run()
+		return
+	}
+
+	switch {
+	case a.NVEMResident:
+		// Write the page back to its NVEM home (synchronous, fast).
+		m.host.NVEMTransfer(op.p, op.step)
+	case a.NVEMWriteBuffer:
+		m.writeViaWB(op.p, key, op.step)
+	case m.cfg.AsyncReplacement:
+		// Footnote 3's software optimization: the replacement write happens
+		// in the background; only the read delays the transaction.
+		m.stats.VictimAsync++
+		m.asyncWrite(key, false)
+		op.run()
+	default:
+		// Device write before the read can proceed (the transaction waits
+		// for it either way; SyncAccess additionally holds the CPU).
+		m.stats.VictimWrites++
+		if m.alloc(key.Partition).SyncAccess {
+			m.devicePartitionWrite(op.p, key, op.step)
+		} else {
+			op.state = fxVictimIO
+			m.host.IOOverhead(op.p, op.step)
+		}
+	}
 }
 
 // fixRemote serves a main-memory miss on a shared-NVEM-cache partition
@@ -518,11 +893,7 @@ func (m *Manager) disposeVictim(p *sim.Process, key storage.PageKey, dirty bool,
 		// Footnote 3's software optimization: the replacement write happens
 		// in the background; only the read delays the transaction.
 		m.stats.VictimAsync++
-		unit := m.unitOf(key.Partition)
-		m.host.SpawnAsync("async-replace", func(ap *sim.Process) {
-			m.stats.AsyncDiskWrites++
-			m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
-		})
+		m.asyncWrite(key, false)
 		k()
 	default:
 		// Device write before the read can proceed (the transaction waits
@@ -585,13 +956,10 @@ func (m *Manager) putNVEMInto(c *lru.Cache[storage.PageKey, nvemFrame], key stor
 // system), then the asynchronous disk write.
 func (m *Manager) destageFromNVEM(key storage.PageKey) {
 	m.stats.NVEMEvictWrites++
-	unit := m.deviceUnitFor(key)
-	m.host.SpawnAsync("nvem-evict-destage", func(ap *sim.Process) {
-		m.host.NVEMTransfer(ap, func() {
-			m.stats.AsyncDiskWrites++
-			m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
-		})
-	})
+	op := m.getAsyncOp()
+	op.key, op.wb = key, false
+	op.state = axEvict
+	m.sim.Schedule(0, op.step)
 }
 
 // writeViaWB absorbs a page write in the NVEM write buffer: the caller
@@ -600,24 +968,19 @@ func (m *Manager) destageFromNVEM(key storage.PageKey) {
 // update, the write falls back to a synchronous device write (the same
 // saturation behaviour as a full non-volatile disk cache).
 func (m *Manager) writeViaWB(p *sim.Process, key storage.PageKey, k func()) {
+	op := m.getOp()
+	op.p, op.key, op.k = p, key, k
 	if m.wbInUse >= m.cfg.NVEMWriteBufferSize {
 		m.stats.WBFullSync++
 		m.stats.VictimWrites++
-		m.host.IOOverhead(p, func() { m.deviceWriteFor(p, key, k) })
+		op.state = wbFull
+		m.host.IOOverhead(p, op.step)
 		return
 	}
 	m.wbInUse++
 	m.stats.VictimToWB++
-	m.host.NVEMTransfer(p, func() {
-		unit := m.deviceUnitFor(key)
-		m.host.SpawnAsync("wb-destage", func(ap *sim.Process) {
-			m.stats.AsyncDiskWrites++
-			m.host.IOOverhead(ap, func() {
-				unit.Write(ap, key, func() { m.wbInUse-- })
-			})
-		})
-		k()
-	})
+	op.state = wbStored
+	m.host.NVEMTransfer(p, op.step)
 }
 
 // deviceUnitFor resolves the disk-unit for a page, treating the log
@@ -636,11 +999,7 @@ func (m *Manager) deviceWriteFor(p *sim.Process, key storage.PageKey, k func()) 
 // startAsyncWrite begins the immediate asynchronous disk update for a
 // modified page that entered the NVEM cache.
 func (m *Manager) startAsyncWrite(key storage.PageKey) {
-	unit := m.deviceUnitFor(key)
-	m.host.SpawnAsync("nvem-destage", func(ap *sim.Process) {
-		m.stats.AsyncDiskWrites++
-		m.host.IOOverhead(ap, func() { unit.Write(ap, key, nop) })
-	})
+	m.asyncWrite(key, false)
 }
 
 // ForcePages implements commit phase 1 under FORCE: every page the
@@ -654,52 +1013,10 @@ func (m *Manager) ForcePages(p *sim.Process, keys []storage.PageKey, k func()) {
 		k()
 		return
 	}
-	i := 0
-	var step func()
-	step = func() {
-		for i < len(keys) {
-			key := keys[i]
-			i++
-			a := m.alloc(key.Partition)
-			if a.MMResident {
-				continue // memory-resident partitions use NOFORCE propagation
-			}
-			f, inMM := m.mm.Peek(key)
-			if inMM && !f.dirty {
-				continue // already forced by an earlier access of this txn
-			}
-			if !inMM {
-				continue // replaced earlier; written out during replacement
-			}
-			m.stats.ForceWrites++
-			after := func() {
-				m.mm.Update(key, frame{dirty: false})
-				step()
-			}
-			switch {
-			case a.NVEMResident:
-				m.host.NVEMTransfer(p, after)
-			case a.NVEMCache && (m.nvemCache != nil || m.remote != nil):
-				// Force into the NVEM cache; MM copy stays (replication).
-				// Deferred destage pays off exactly here: re-forced pages
-				// overwrite their dirty NVEM copy without another disk write.
-				m.host.NVEMTransfer(p, func() {
-					m.insertNVEM(key, true)
-					if !m.cfg.NVEMDeferredDestage {
-						m.startAsyncWrite(key)
-					}
-					after()
-				})
-			case a.NVEMWriteBuffer:
-				m.writeViaWB(p, key, after)
-			default:
-				m.devicePartitionWrite(p, key, after)
-			}
-			return
-		}
-		k()
-	}
-	step()
+	op := m.getOp()
+	op.p, op.k, op.keys, op.i = p, k, keys, 0
+	op.state = fcLoop
+	op.run()
 }
 
 // WriteLog implements the commit log write: one page per update transaction
@@ -715,22 +1032,20 @@ func (m *Manager) WriteLog(p *sim.Process, k func()) {
 		m.writeLogPage(p, k)
 		return
 	}
+	if m.gcWaiters == nil {
+		if n := len(m.gcFree); n > 0 {
+			m.gcWaiters = m.gcFree[n-1]
+			m.gcFree[n-1] = nil
+			m.gcFree = m.gcFree[:n-1]
+		}
+	}
 	m.gcWaiters = append(m.gcWaiters, k)
 	if len(m.gcWaiters) == 1 {
-		// Group leader: open the group and flush it after the group window.
-		m.host.SpawnAsync("group-commit", func(ap *sim.Process) {
-			ap.Hold(m.cfg.GroupCommitWaitMS, func() {
-				waiters := m.gcWaiters
-				m.gcWaiters = nil
-				m.stats.GroupCommits++
-				// One I/O carries the whole group's log data.
-				m.writeLogPage(ap, func() {
-					for _, w := range waiters {
-						ap.Sim().Schedule(0, w)
-					}
-				})
-			})
-		})
+		// Group leader: open the group (one +0 event, matching the process
+		// spawn it replaces) and flush it after the group window.
+		op := m.getAsyncOp()
+		op.state = gcOpen
+		m.sim.Schedule(0, op.step)
 	}
 }
 
@@ -746,9 +1061,10 @@ func (m *Manager) writeLogPage(p *sim.Process, k func()) {
 	case m.cfg.Log.NVEMWriteBuffer:
 		m.writeViaWB(p, key, k)
 	default:
-		m.host.IOOverhead(p, func() {
-			m.units[m.cfg.Log.DiskUnit].Write(p, key, k)
-		})
+		op := m.getOp()
+		op.p, op.key, op.k = p, key, k
+		op.state = lgIO
+		m.host.IOOverhead(p, op.step)
 	}
 }
 

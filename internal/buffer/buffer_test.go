@@ -41,6 +41,8 @@ func (h *testHost) SpawnAsync(name string, fn func(p *sim.Process)) {
 	h.s.Spawn(name, 0, fn)
 }
 
+func (h *testHost) Sim() *sim.Sim { return h.s }
+
 // rig bundles a simulation, devices and a buffer manager for tests.
 type rig struct {
 	s    *sim.Sim

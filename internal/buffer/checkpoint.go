@@ -24,8 +24,12 @@ func (m *Manager) LogSinceCkpt() int64 { return m.logSinceCkpt }
 // least-recently used. The order is the LRU chain's, so it is
 // deterministic; the checkpoint daemon flushes in it and crash recovery
 // redoes in it.
-func (m *Manager) DirtyKeys() []storage.PageKey {
-	var out []storage.PageKey
+func (m *Manager) DirtyKeys() []storage.PageKey { return m.appendDirtyKeys(nil) }
+
+// appendDirtyKeys appends the dirty keys to out (the checkpoint daemon
+// passes its recycled scratch; DirtyKeys passes nil because its callers —
+// recovery snapshots — retain the result).
+func (m *Manager) appendDirtyKeys(out []storage.PageKey) []storage.PageKey {
 	m.mm.Each(func(k storage.PageKey, f frame) bool {
 		if f.dirty {
 			out = append(out, k)
@@ -36,7 +40,16 @@ func (m *Manager) DirtyKeys() []storage.PageKey {
 }
 
 // DirtyPages counts the dirty main-memory frames.
-func (m *Manager) DirtyPages() int { return len(m.DirtyKeys()) }
+func (m *Manager) DirtyPages() int {
+	n := 0
+	m.mm.Each(func(_ storage.PageKey, f frame) bool {
+		if f.dirty {
+			n++
+		}
+		return true
+	})
+	return n
+}
 
 // StopCheckpoints makes the checkpoint daemon exit at its next tick: a
 // crashed node cannot checkpoint, and a drain-to-empty run (restart
@@ -92,11 +105,11 @@ func (m *Manager) startCheckpointDaemon() {
 // written and the redo log length stays for the recovery snapshot.
 func (m *Manager) fuzzyCheckpoint(p *sim.Process, gen int, k func()) {
 	m.stats.Checkpoints++
-	keys := m.DirtyKeys()
+	m.ckptKeys = m.appendDirtyKeys(m.ckptKeys[:0])
+	keys := m.ckptKeys
 	for _, key := range keys {
 		m.mm.Update(key, frame{dirty: false})
 	}
-	remaining := len(keys)
 	finish := func() {
 		if m.ckptGen != gen {
 			return
@@ -111,40 +124,21 @@ func (m *Manager) fuzzyCheckpoint(p *sim.Process, gen int, k func()) {
 		}
 		done()
 	}
-	if remaining == 0 {
+	if len(keys) == 0 {
 		finish()
 		return
 	}
+	// One pooled flush op per page (each a +0 event, matching the writer
+	// processes they replace); the flush set is the recycled scratch, which
+	// is safe to reuse next checkpoint because every op copied its key.
+	m.ckptRemaining = len(keys)
+	m.ckptFinish = finish
 	for _, key := range keys {
-		key := key
 		m.stats.CkptWrites++
-		m.host.SpawnAsync("ckpt-flush", func(ap *sim.Process) {
-			m.flushPage(ap, key, func() {
-				if m.ckptGen != gen {
-					return
-				}
-				remaining--
-				if remaining == 0 {
-					finish()
-				}
-			})
-		})
-	}
-}
-
-// flushPage writes one checkpointed page to its permanent home, routed by
-// the partition allocation like any other propagation.
-func (m *Manager) flushPage(p *sim.Process, key storage.PageKey, k func()) {
-	a := m.alloc(key.Partition)
-	switch {
-	case a.MMResident:
-		k() // NOFORCE propagation, no device backing in the model
-	case a.NVEMResident:
-		m.host.NVEMTransfer(p, k)
-	case a.NVEMWriteBuffer:
-		m.writeViaWB(p, key, k)
-	default:
-		m.devicePartitionWrite(p, key, k)
+		op := m.getAsyncOp()
+		op.key, op.gen = key, gen
+		op.state = ckFlush
+		m.sim.Schedule(0, op.step)
 	}
 }
 

@@ -164,7 +164,32 @@ type Manager struct {
 	pending map[TxnID]Granule
 	onGrant func(TxnID)
 	stats   Stats
+
+	// Freelists for the two per-request allocations of the steady state:
+	// granule lock records (pushed when a granule's entry empties, popped
+	// on first conflict-free use of a new granule) and per-transaction
+	// held-lock lists (pushed at ReleaseAll, popped at a transaction's
+	// first grant). Recycled objects follow the pool reset contract:
+	// freeing poisons (under poolPoison), popping resets — see DESIGN.md
+	// §13.
+	freeEntries []*lockEntry
+	freeHeld    [][]heldLock
+
+	// Reusable scratch for wouldDeadlock's wait-for-graph search.
+	dlVisited map[TxnID]bool
+	dlStack   []TxnID
 }
+
+// poolPoison, when true, overwrites freed pool objects with sentinel
+// garbage so a missing reset line surfaces as corrupt state in tests
+// instead of a silent metric skew in production. Tests flip it; the
+// default build pays nothing.
+var poolPoison = false
+
+// SetPoolPoison toggles freelist poisoning — a debug hook for the
+// pool-contract tests (including cross-package ones); never enable it in
+// production runs.
+func SetPoolPoison(on bool) { poolPoison = on }
 
 // NewManager creates a lock manager. onGrant may be nil if no transaction
 // ever waits (e.g. single-user tests).
@@ -222,7 +247,7 @@ func (m *Manager) Acquire(txn TxnID, g Granule, mode Mode) Result {
 
 	e := m.locks[g]
 	if e == nil {
-		e = &lockEntry{}
+		e = m.newEntry()
 		m.locks[g] = e
 	}
 
@@ -263,6 +288,41 @@ func (m *Manager) Acquire(txn TxnID, g Granule, mode Mode) Result {
 	return Wait
 }
 
+// newEntry pops a recycled granule record off the freelist (resetting it
+// per the pool contract) or allocates a fresh one.
+func (m *Manager) newEntry() *lockEntry {
+	n := len(m.freeEntries)
+	if n == 0 {
+		return &lockEntry{}
+	}
+	e := m.freeEntries[n-1]
+	m.freeEntries[n-1] = nil
+	m.freeEntries = m.freeEntries[:n-1]
+	e.holders = e.holders[:0]
+	e.queue = e.queue[:0]
+	return e
+}
+
+// freeEntry returns an emptied granule record to the freelist. Under
+// poolPoison the backing arrays are filled with sentinel garbage beyond
+// the (zero) length, so a deleted reset line in newEntry is caught by the
+// pool-contract tests rather than leaking stale holders.
+func (m *Manager) freeEntry(e *lockEntry) {
+	if poolPoison {
+		h := e.holders[:cap(e.holders)]
+		for i := range h {
+			h[i] = holder{txn: -1, mode: ^Mode(0)}
+		}
+		e.holders = h
+		q := e.queue[:cap(e.queue)]
+		for i := range q {
+			q[i] = request{txn: -1, mode: ^Mode(0), upgrade: true}
+		}
+		e.queue = q
+	}
+	m.freeEntries = append(m.freeEntries, e)
+}
+
 // grant records txn as holding g in mode.
 func (m *Manager) grant(txn TxnID, g Granule, e *lockEntry, mode Mode) {
 	e.setHolder(txn, mode)
@@ -271,6 +331,14 @@ func (m *Manager) grant(txn TxnID, g Granule, e *lockEntry, mode Mode) {
 		if locks[i].g == g {
 			locks[i].mode = mode
 			return
+		}
+	}
+	if locks == nil {
+		// First lock of the transaction: reuse a released list.
+		if n := len(m.freeHeld); n > 0 {
+			locks = m.freeHeld[n-1][:0]
+			m.freeHeld[n-1] = nil
+			m.freeHeld = m.freeHeld[:n-1]
 		}
 	}
 	m.held[txn] = append(locks, heldLock{g: g, mode: mode})
@@ -301,6 +369,16 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 		e := m.locks[h.g]
 		e.removeHolder(txn)
 		m.dispatch(h.g, e)
+	}
+	if cap(locks) > 0 {
+		if poolPoison {
+			l := locks[:cap(locks)]
+			for i := range l {
+				l[i] = heldLock{g: Granule{Partition: -1, ID: -1}, mode: ^Mode(0)}
+			}
+			locks = l
+		}
+		m.freeHeld = append(m.freeHeld, locks[:0])
 	}
 }
 
@@ -343,7 +421,11 @@ func (m *Manager) dispatch(g Granule, e *lockEntry) {
 		} else if !e.compatible(head.txn, head.mode) {
 			break
 		}
-		e.queue = e.queue[1:]
+		// Pop by copy-down, not reslicing, so the queue's backing array
+		// keeps its front capacity across the entry's recycled lifetimes.
+		copy(e.queue, e.queue[1:])
+		e.queue[len(e.queue)-1] = request{}
+		e.queue = e.queue[:len(e.queue)-1]
 		delete(m.pending, head.txn)
 		m.grant(head.txn, g, e, head.mode)
 		if m.onGrant != nil {
@@ -352,6 +434,7 @@ func (m *Manager) dispatch(g Granule, e *lockEntry) {
 	}
 	if len(e.holders) == 0 && len(e.queue) == 0 {
 		delete(m.locks, g)
+		m.freeEntry(e)
 	}
 }
 
@@ -359,64 +442,61 @@ func (m *Manager) dispatch(g Granule, e *lockEntry) {
 // a cycle in the wait-for graph. The requester waits for the lock's current
 // holders and, unless it is an upgrade, for every already-queued waiter.
 func (m *Manager) wouldDeadlock(txn TxnID, g Granule, e *lockEntry, upgrade bool) bool {
-	// Depth-first search over "t waits for u" edges looking for txn.
-	visited := make(map[TxnID]bool)
-	var visit func(t TxnID) bool
-	blockersOf := func(t TxnID) []TxnID {
-		wg, waiting := m.pending[t]
-		if !waiting {
-			return nil
-		}
-		we := m.locks[wg]
-		if we == nil {
-			return nil
-		}
-		var out []TxnID
-		for _, h := range we.holders {
-			if h.txn != t {
-				out = append(out, h.txn)
-			}
-		}
-		for _, q := range we.queue {
-			if q.txn != t {
-				out = append(out, q.txn)
-			}
-		}
-		return out
+	// Iterative depth-first search over "t waits for u" edges looking for
+	// txn, on scratch reused across calls (a deadlock check runs on every
+	// denied request, so per-check allocation would dominate contended
+	// workloads). Reachability is order-independent, so the stack
+	// discipline returns the same verdict as the recursive formulation.
+	if m.dlVisited == nil {
+		m.dlVisited = make(map[TxnID]bool)
+	} else {
+		clear(m.dlVisited)
 	}
-	visit = func(t TxnID) bool {
-		if t == txn {
-			return true
-		}
-		if visited[t] {
-			return false
-		}
-		visited[t] = true
-		for _, u := range blockersOf(t) {
-			if visit(u) {
-				return true
-			}
-		}
-		return false
-	}
+	st := m.dlStack[:0]
 	// Direct blockers of the hypothetical request.
 	for _, h := range e.holders {
-		if h.txn == txn {
-			continue
-		}
-		if visit(h.txn) {
-			return true
+		if h.txn != txn {
+			st = append(st, h.txn)
 		}
 	}
 	if !upgrade {
 		for _, q := range e.queue {
-			if q.txn == txn {
-				continue
-			}
-			if visit(q.txn) {
-				return true
+			if q.txn != txn {
+				st = append(st, q.txn)
 			}
 		}
 	}
-	return false
+	found := false
+	for len(st) > 0 {
+		t := st[len(st)-1]
+		st = st[:len(st)-1]
+		if t == txn {
+			found = true
+			break
+		}
+		if m.dlVisited[t] {
+			continue
+		}
+		m.dlVisited[t] = true
+		wg, waiting := m.pending[t]
+		if !waiting {
+			continue
+		}
+		we := m.locks[wg]
+		if we == nil {
+			continue
+		}
+		for _, h := range we.holders {
+			if h.txn != t {
+				st = append(st, h.txn)
+			}
+		}
+		for _, q := range we.queue {
+			if q.txn != t {
+				st = append(st, q.txn)
+			}
+		}
+	}
+	m.dlStack = st[:0]
+	return found
 }

@@ -98,7 +98,19 @@ type node struct {
 	// timeline counts this node's commits per TimelineBucketMS bucket
 	// over the measurement window (availability runs only).
 	timeline []int64
+
+	// Freelists of the transaction hot path: finished txRun records (their
+	// processes and pre-bound continuations ride along) and host operations
+	// (the synchronous NVEM-transfer / device-I/O sequences). Dead
+	// transactions — killed by a crash — are never recycled: their pending
+	// kernel events still reference the record.
+	freeTx   *txRun
+	freeHost *hostOp
 }
+
+// poolPoison, when true, fills freed pool records with sentinel garbage so
+// a missing reset in a reuse path surfaces in the pool-contract tests.
+var poolPoison = false
 
 // Run executes one single-node simulation described by cfg and returns its
 // metrics.
@@ -264,37 +276,105 @@ func (e *node) cpuBurst(p *sim.Process, meanInstr float64, k func()) {
 // IOOverhead implements buffer.Host: the CPU pathlength of one I/O.
 func (e *node) IOOverhead(p *sim.Process, k func()) { e.cpuBurst(p, e.cfg.InstrIO, k) }
 
+// hostOp stages.
+const (
+	hoNVAcq    uint8 = iota // CPU acquired: hold the NVEM instruction overhead
+	hoNVAccess              // overhead held: perform the NVEM access
+	hoIOAcq                 // CPU acquired: hold the I/O instruction overhead
+	hoDev                   // overhead held: run the device access
+	hoDone                  // access complete: release the CPU, continue
+)
+
+// hostOp is one CPU-synchronous host operation — an NVEM page transfer or
+// a synchronous device I/O — pooled per node. The acquire callback and the
+// step continuation are bound once at allocation; the instruction-time
+// draws happen exactly where the closure formulation drew them (after the
+// CPU is acquired), so the random sequences are unchanged.
+type hostOp struct {
+	e     *node
+	p     *sim.Process
+	k     func()
+	dev   func(done func())
+	state uint8
+	step  func()
+	acq   func(sim.Time)
+	next  *hostOp
+}
+
+func (e *node) getHostOp() *hostOp {
+	op := e.freeHost
+	if op == nil {
+		op = &hostOp{e: e}
+		op.step = op.run
+		op.acq = func(sim.Time) { op.run() }
+		return op
+	}
+	e.freeHost = op.next
+	op.next = nil
+	return op
+}
+
+func (e *node) putHostOp(op *hostOp) {
+	op.p, op.k, op.dev = nil, nil, nil
+	if poolPoison {
+		op.state = 0xff
+	}
+	op.next = e.freeHost
+	e.freeHost = op
+}
+
+// run advances the host operation by one stage.
+func (op *hostOp) run() {
+	e := op.e
+	switch op.state {
+	case hoNVAcq:
+		op.state = hoNVAccess
+		op.p.Hold(e.instrTime(e.cfg.InstrNVEM), op.step)
+	case hoNVAccess:
+		op.state = hoDone
+		e.nvem.Access(op.p, op.step)
+	case hoIOAcq:
+		op.state = hoDev
+		op.p.Hold(e.instrTime(e.cfg.InstrIO), op.step)
+	case hoDev:
+		op.state = hoDone
+		op.dev(op.step)
+	case hoDone:
+		e.cpu.Release()
+		k := op.k
+		e.putHostOp(op)
+		k()
+	default:
+		panic(fmt.Sprintf("core: hostOp in invalid state %d", op.state))
+	}
+}
+
 // SyncDeviceIO implements buffer.Host: the whole device access runs with
 // the CPU held (AccessMode=synchronous, Table 3.3).
 func (e *node) SyncDeviceIO(p *sim.Process, dev func(done func()), k func()) {
-	e.cpu.Acquire(p, func(sim.Time) {
-		p.Hold(e.instrTime(e.cfg.InstrIO), func() {
-			dev(func() {
-				e.cpu.Release()
-				k()
-			})
-		})
-	})
+	op := e.getHostOp()
+	op.p, op.k, op.dev = p, k, dev
+	op.state = hoIOAcq
+	e.cpu.Acquire(p, op.acq)
 }
 
 // NVEMTransfer implements buffer.Host: a synchronous NVEM page transfer —
 // the CPU stays busy for the instruction overhead AND the transfer itself
 // (a process switch would cost more than the 50µs delay, section 2).
 func (e *node) NVEMTransfer(p *sim.Process, k func()) {
-	e.cpu.Acquire(p, func(sim.Time) {
-		p.Hold(e.instrTime(e.cfg.InstrNVEM), func() {
-			e.nvem.Access(p, func() {
-				e.cpu.Release()
-				k()
-			})
-		})
-	})
+	op := e.getHostOp()
+	op.p, op.k = p, k
+	op.state = hoNVAcq
+	e.cpu.Acquire(p, op.acq)
 }
 
 // SpawnAsync implements buffer.Host.
 func (e *node) SpawnAsync(name string, fn func(p *sim.Process)) {
 	e.s.Spawn(name, 0, fn)
 }
+
+// Sim implements buffer.Host.
+func (e *node) Sim() *sim.Sim { return e.s }
 
 // --- lock integration ---
 
@@ -314,15 +394,18 @@ func (e *node) onLockGrant(txn cc.TxnID) {
 	e.s.Schedule(0, k)
 }
 
-// acquireLock requests the access's lock and runs k with the outcome: false
-// on deadlock (the caller must abort). On a conflict k is deferred until the
-// lock manager grants the queued request. Under global locking the request
-// first pays the message pathlength and round trip to the cluster-wide lock
-// manager.
-func (e *node) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k func(ok bool)) {
+// requestLock requests the next access's lock and continues through
+// t.locked with the outcome: false on deadlock (the caller must abort). On
+// a conflict the continuation is deferred until the lock manager grants
+// the queued request. Under global locking the request first pays the
+// message pathlength and round trip to the cluster-wide lock manager
+// (states txLockMsg/txLockSent).
+func (t *txRun) requestLock() {
+	e := t.e
+	acc := &t.tx.Accesses[t.i]
 	granularity := e.cfg.CCModes[acc.Partition]
 	if granularity == cc.NoCC {
-		k(true)
+		t.onLocked(true)
 		return
 	}
 	id := acc.Page
@@ -334,54 +417,72 @@ func (e *node) acquireLock(p *sim.Process, txn cc.TxnID, acc *workload.Access, k
 		mode = cc.Write
 	}
 	g := cc.Granule{Partition: acc.Partition, ID: id}
-	if gl := e.c.glocks; gl != nil {
-		e.cpuBurst(p, e.c.instrLockMsg, func() {
-			if pd := e.c.pdes; pd != nil {
-				// The request crosses the node boundary as a PDES message;
-				// the verdict materializes one lookahead (= the round-trip
-				// latency) later, at the next barrier (pdes.go).
-				pd.sendLockReq(e, txn, g, mode, k)
-				return
-			}
-			p.Hold(e.c.lockMsgDelay, func() {
-				// A crash while the request message was in flight killed
-				// the transaction and purged it from the active table; the
-				// request must not reach the global lock manager, where
-				// nobody would ever release it.
-				if e.c.trackActive {
-					if _, alive := e.active[txn]; !alive {
-						return
-					}
-				}
-				e.onAcquired(p, txn, gl.AcquireFrom(e.id, txn, g, mode), k)
-			})
-		})
+	if e.c.glocks != nil {
+		t.g, t.mode = g, mode
+		t.state = txLockMsg
+		e.cpuBurst(t.p, e.c.instrLockMsg, t.resume)
 		return
 	}
-	e.onAcquired(p, txn, e.locks.Acquire(txn, g, mode), k)
+	t.onVerdict(e.locks.Acquire(t.txn, g, mode))
 }
 
-// onAcquired continues after the lock manager's verdict.
-func (e *node) onAcquired(p *sim.Process, txn cc.TxnID, res cc.Result, k func(ok bool)) {
+// sendLockRequest runs after the request message's CPU pathlength: the
+// request departs for the cluster-wide lock manager.
+func (t *txRun) sendLockRequest() {
+	e := t.e
+	if pd := e.c.pdes; pd != nil {
+		// The request crosses the node boundary as a PDES message; the
+		// verdict materializes one lookahead (= the round-trip latency)
+		// later, at the next barrier (pdes.go).
+		pd.sendLockReq(e, t.txn, t.g, t.mode, t.locked)
+		return
+	}
+	t.state = txLockSent
+	t.p.Hold(e.c.lockMsgDelay, t.resume)
+}
+
+// deliverLockRequest lands the request at the global lock manager after
+// the round trip.
+func (t *txRun) deliverLockRequest() {
+	e := t.e
+	// A crash while the request message was in flight killed the
+	// transaction and purged it from the active table; the request must
+	// not reach the global lock manager, where nobody would ever release
+	// it.
+	if e.c.trackActive {
+		if _, alive := e.active[t.txn]; !alive {
+			return
+		}
+	}
+	t.onVerdict(e.c.glocks.AcquireFrom(e.id, t.txn, t.g, t.mode))
+}
+
+// onVerdict continues after the lock manager's verdict.
+func (t *txRun) onVerdict(res cc.Result) {
 	switch res {
 	case cc.Granted:
-		k(true)
+		t.onLocked(true)
 	case cc.Wait:
-		start := p.Now()
-		e.waiting[txn] = func() {
-			if e.warm {
-				// A wait straddling the warmup boundary is only credited
-				// its in-window part.
-				if start < e.warmStartTime {
-					start = e.warmStartTime
-				}
-				e.lockWait.Add(p.Now() - start)
-			}
-			k(true)
-		}
+		t.waitStart = t.p.Now()
+		t.e.waiting[t.txn] = t.granted
 	default: // cc.Deadlock
-		k(false)
+		t.onLocked(false)
 	}
+}
+
+// onGranted resumes a conflicted lock request once the manager grants it,
+// crediting the wait to the lock-wait statistic. A wait straddling the
+// warmup boundary is only credited its in-window part.
+func (t *txRun) onGranted() {
+	e := t.e
+	if e.warm {
+		start := t.waitStart
+		if start < e.warmStartTime {
+			start = e.warmStartTime
+		}
+		e.lockWait.Add(t.p.Now() - start)
+	}
+	t.onLocked(true)
 }
 
 // releaseLocks releases the transaction's locks at the local or global
@@ -463,7 +564,7 @@ func (e *node) spawnTerminals(typeIdx int) {
 					think()
 					return
 				}
-				e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTxNotify(tp, tx, think) })
+				e.startTx(tx, think)
 			}
 			think = func() {
 				if e.stopArrivals {
@@ -492,7 +593,7 @@ func (e *node) admitArrival(tx workload.Tx) {
 			}
 			return
 		}
-		e.s.Spawn("tx", 0, func(tp *sim.Process) { e.runTx(tp, tx) })
+		e.startTx(tx, nil)
 		return
 	}
 	if pd := e.c.pdes; pd != nil {
@@ -528,7 +629,7 @@ func (e *node) admitArrival(tx workload.Tx) {
 			}
 		}
 	default:
-		e.s.Spawn("tx", 0, func(tp *sim.Process) { target.runTx(tp, tx) })
+		target.startTx(tx, nil)
 	}
 }
 
@@ -539,11 +640,14 @@ func (e *node) admitArrival(tx workload.Tx) {
 type txState uint8
 
 const (
-	txStep   txState = iota // run the next access (or enter commit)
-	txFixed                 // page fix completed
-	txPhase1                // EOT burst done: log + force writes
-	txLogged                // log write durable
-	txFinish                // force writes done: release and finish
+	txStep     txState = iota // run the next access (or enter commit)
+	txFixed                   // page fix completed
+	txPhase1                  // EOT burst done: log + force writes
+	txLogged                  // log write durable
+	txFinish                  // force writes done: release and finish
+	txLockMsg                 // lock-request pathlength charged: send it
+	txLockSent                // round trip elapsed: deliver to the manager
+	txAborted                 // release pathlength charged: release, retry
 )
 
 // txRun is one transaction's resumable state machine. Its continuations are
@@ -564,32 +668,96 @@ type txRun struct {
 	relPaid bool // release-message pathlength charged (global locking)
 	// dead marks a transaction killed by its node's crash: its locks are
 	// already released and every later continuation must fall through
-	// (pending kernel events cannot be unscheduled).
+	// (pending kernel events cannot be unscheduled). Dead records are
+	// never recycled.
 	dead bool
 	// done, when non-nil, runs after commit phase 2 releases the MPL slot
 	// — the closed-loop completion hook that puts the submitting terminal
 	// back into its think phase.
 	done func()
 
-	// Pre-bound continuations, one allocation each per transaction.
+	// Pending global lock request (txLockMsg/txLockSent) and the start of
+	// the current conflicted wait.
+	g         cc.Granule
+	mode      cc.Mode
+	waitStart sim.Time
+
+	// mod is the reusable modified-page scratch ForcePages reads; valid
+	// until the commit's force writes finish, rebuilt per commit.
+	mod []storage.PageKey
+
+	// Pre-bound continuations and the record's process identity, bound
+	// once when the record is first allocated and reused across its whole
+	// pooled lifetime.
+	begin    func()
 	admitted func(sim.Time)
 	resume   func()
 	locked   func(bool)
+	granted  func()
+	next     *txRun // freelist link
 }
 
-// runTx executes one transaction to commit.
-func (e *node) runTx(p *sim.Process, tx workload.Tx) {
-	e.runTxNotify(p, tx, nil)
+// getTx pops a recycled transaction record (resetting the per-transaction
+// state its last run left behind) or allocates one with its process and
+// continuations bound.
+func (e *node) getTx() *txRun {
+	t := e.freeTx
+	if t == nil {
+		t = &txRun{e: e, p: e.s.NewProcess("tx")}
+		t.begin = t.onBegin
+		t.admitted = t.onAdmitted
+		t.resume = t.dispatch
+		t.locked = t.onLocked
+		t.granted = t.onGranted
+		return t
+	}
+	e.freeTx = t.next
+	t.next = nil
+	t.fixTime, t.start = 0, 0
+	t.dead = false
+	return t
 }
 
-// runTxNotify is runTx with a completion hook: done (when non-nil) runs
-// after the transaction commits and frees its MPL slot.
-func (e *node) runTxNotify(p *sim.Process, tx workload.Tx, done func()) {
-	t := &txRun{e: e, p: p, tx: tx, arrival: p.Now(), done: done}
-	t.admitted = t.onAdmitted
-	t.resume = t.dispatch
-	t.locked = t.onLocked
-	e.mpl.Acquire(p, t.admitted)
+// putTx recycles a finished (never a dead) transaction record.
+func (e *node) putTx(t *txRun) {
+	t.done = nil
+	t.tx = workload.Tx{}
+	if poolPoison {
+		t.txn = -1
+		t.arrival, t.fixTime, t.start, t.waitStart = -1, -1, -1, -1
+		t.i = -1
+		t.state = txState(0xff)
+		t.relPaid, t.dead = true, true
+		t.g = cc.Granule{Partition: -1, ID: -1}
+		for i := range t.mod {
+			t.mod[i] = storage.PageKey{Partition: -1, Page: -1}
+		}
+	}
+	t.mod = t.mod[:0]
+	t.next = e.freeTx
+	e.freeTx = t
+}
+
+// startTx launches one transaction on a pooled record: one +0 kernel
+// event, exactly like the process spawn it replaces. done (when non-nil)
+// runs after the transaction commits and frees its MPL slot.
+func (e *node) startTx(tx workload.Tx, done func()) {
+	e.startTxAt(0, tx, done)
+}
+
+// startTxAt is startTx with an arrival delay (PDES reroutes land at their
+// message-arrival instant).
+func (e *node) startTxAt(delay sim.Time, tx workload.Tx, done func()) {
+	t := e.getTx()
+	t.tx = tx
+	t.done = done
+	e.s.Schedule(delay, t.begin)
+}
+
+// onBegin runs at the transaction's arrival instant: request admission.
+func (t *txRun) onBegin() {
+	t.arrival = t.p.Now()
+	t.e.mpl.Acquire(t.p, t.admitted)
 }
 
 // dispatch resumes the state the transaction parked in. A transaction
@@ -607,8 +775,16 @@ func (t *txRun) dispatch() {
 		t.doCommitPhase1()
 	case txLogged:
 		t.onLogged()
-	default: // txFinish
+	case txFinish:
 		t.finish()
+	case txLockMsg:
+		t.sendLockRequest()
+	case txLockSent:
+		t.deliverLockRequest()
+	case txAborted:
+		t.finishAbort()
+	default:
+		panic(fmt.Sprintf("core: txRun in invalid state %d", t.state))
 	}
 }
 
@@ -640,7 +816,7 @@ func (t *txRun) doStep() {
 		t.e.cpuBurst(t.p, t.e.cfg.InstrEOT, t.resume)
 		return
 	}
-	t.e.acquireLock(t.p, t.txn, &t.tx.Accesses[t.i], t.locked)
+	t.requestLock()
 }
 
 // onLocked continues after the lock decision: fix the page, or abort on
@@ -689,20 +865,18 @@ func (t *txRun) abort() {
 		}
 	}
 	if t.e.c.glocks != nil {
-		t.e.cpuBurst(t.p, t.e.c.instrLockMsg, func() {
-			// A crash during the release burst already released the locks
-			// (the transaction was still registered as active).
-			if t.dead {
-				return
-			}
-			t.e.releaseLocks(t.txn)
-			if t.e.c.trackActive {
-				delete(t.e.active, t.txn)
-			}
-			t.beginAttempt()
-		})
+		// A crash during the release burst already released the locks (the
+		// transaction was still registered as active); dispatch's dead
+		// check drops the continuation then.
+		t.state = txAborted
+		t.e.cpuBurst(t.p, t.e.c.instrLockMsg, t.resume)
 		return
 	}
+	t.finishAbort()
+}
+
+// finishAbort releases the aborted attempt's locks and retries.
+func (t *txRun) finishAbort() {
 	t.e.releaseLocks(t.txn)
 	if t.e.c.trackActive {
 		delete(t.e.active, t.txn)
@@ -725,7 +899,7 @@ func (t *txRun) doCommitPhase1() {
 func (t *txRun) onLogged() {
 	if t.e.cfg.Buffer.Force {
 		t.state = txFinish
-		t.e.bm.ForcePages(t.p, modifiedPages(t.tx), t.resume)
+		t.e.bm.ForcePages(t.p, t.modifiedPages(), t.resume)
 		return
 	}
 	t.finish()
@@ -757,8 +931,10 @@ func (t *txRun) finish() {
 		}
 	}
 	e.mpl.Release()
-	if t.done != nil {
-		t.done()
+	done := t.done
+	e.putTx(t)
+	if done != nil {
+		done()
 	}
 }
 
@@ -778,23 +954,26 @@ func (e *node) recordCommit(now sim.Time) {
 	e.timeline[idx]++
 }
 
-// modifiedPages returns the distinct pages a transaction wrote, in first-
-// write order.
-func modifiedPages(tx workload.Tx) []storage.PageKey {
-	seen := make(map[storage.PageKey]struct{}, len(tx.Accesses))
-	var out []storage.PageKey
-	for i := range tx.Accesses {
-		acc := &tx.Accesses[i]
+// modifiedPages returns the distinct pages the transaction wrote, in
+// first-write order, in the record's reusable scratch (transactions write
+// a handful of pages, so the linear dedup beats a fresh map).
+func (t *txRun) modifiedPages() []storage.PageKey {
+	out := t.mod[:0]
+outer:
+	for i := range t.tx.Accesses {
+		acc := &t.tx.Accesses[i]
 		if !acc.Write {
 			continue
 		}
 		key := storage.PageKey{Partition: acc.Partition, Page: acc.Page}
-		if _, dup := seen[key]; dup {
-			continue
+		for _, k := range out {
+			if k == key {
+				continue outer
+			}
 		}
-		seen[key] = struct{}{}
 		out = append(out, key)
 	}
+	t.mod = out
 	return out
 }
 

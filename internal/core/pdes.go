@@ -356,8 +356,7 @@ func (pd *pdesState) dispatch(m *pdesMsg) {
 				e.dropped++
 			}
 		default:
-			tgt, tx := target, m.tx
-			tgt.s.Spawn("tx", m.arrive-tgt.s.Now(), func(tp *sim.Process) { tgt.runTx(tp, tx) })
+			target.startTxAt(m.arrive-target.s.Now(), m.tx, nil)
 		}
 	case pdesNVEMProbe:
 		// Shared-cache lookup on the requester's behalf. The cache is

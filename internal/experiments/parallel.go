@@ -75,13 +75,9 @@ type cell struct {
 }
 
 // meanCI aggregates metric over the cell's replications into the mean and
-// the 95%-confidence half-width.
+// the 95%-confidence half-width, without materializing the value slice.
 func (c cell) meanCI(metric func(*core.Result) float64) (mean, ci float64) {
-	vals := make([]float64, len(c.results))
-	for i, r := range c.results {
-		vals[i] = metric(r)
-	}
-	return stats.MeanCI95(vals)
+	return stats.MeanCI95Seq(len(c.results), func(i int) float64 { return metric(c.results[i]) })
 }
 
 // fmtMeanCI renders the replication mean with the given verb, appending
@@ -139,16 +135,21 @@ func (g *grid) run() ([][]cell, error) {
 		o.Seed = rng.Derive(base, sp.rep)
 		results[k], errs[k] = g.jobs[sp.cellIdx](o)
 	})
+	for k := range errs {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+	}
 	cells := make([][]cell, g.rows)
 	for r := range cells {
 		cells[r] = make([]cell, g.cols)
 	}
-	for k, sp := range specs {
-		if errs[k] != nil {
-			return nil, errs[k]
-		}
-		c := &cells[sp.cellIdx/g.cols][sp.cellIdx%g.cols]
-		c.results = append(c.results, results[k])
+	// specs is cell-major (all replications of a point are consecutive), so
+	// every cell's results are a contiguous, capacity-capped window of the
+	// one per-grid accumulation buffer — no per-cell slices.
+	for k := 0; k < len(specs); k += reps {
+		idx := specs[k].cellIdx
+		cells[idx/g.cols][idx%g.cols].results = results[k : k+reps : k+reps]
 	}
 	return cells, nil
 }

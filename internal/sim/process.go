@@ -27,6 +27,15 @@ func (s *Sim) Spawn(name string, delay Time, body func(p *Process)) *Process {
 	return p
 }
 
+// NewProcess creates a process without scheduling anything. It is the
+// carrier for pooled state machines that drive themselves through Schedule:
+// the caller owns activation, and the process can be reused across logical
+// lifetimes because the kernel keeps no reference to it.
+func (s *Sim) NewProcess(name string) *Process {
+	s.nextPID++
+	return &Process{sim: s, id: s.nextPID, name: name}
+}
+
 // Name returns the diagnostic name given at Spawn.
 func (p *Process) Name() string { return p.name }
 

@@ -12,7 +12,16 @@ type Resource struct {
 	capacity int
 
 	busy  int
-	queue []waiter
+	queue []waiter // FIFO ring: live entries are queue[qhead:]
+	qhead int
+
+	// pend holds waiters whose wake event is already scheduled but has not
+	// fired yet; wake (bound once at construction) pops the head. Wake
+	// events fire in schedule order, so FIFO over pend matches FIFO over
+	// the scheduled events and no per-wake closure is needed.
+	pend     []waiter
+	pendHead int
+	wake     func()
 
 	// Time-integrated statistics.
 	lastChange Time
@@ -39,7 +48,9 @@ func (s *Sim) NewResource(name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
 	}
-	return &Resource{sim: s, name: name, capacity: capacity, lastChange: s.now}
+	r := &Resource{sim: s, name: name, capacity: capacity, lastChange: s.now}
+	r.wake = r.fireWake
+	return r
 }
 
 // Name returns the resource's diagnostic name.
@@ -52,15 +63,64 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) Busy() int { return r.busy }
 
 // QueueLen returns the number of continuations waiting.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 func (r *Resource) integrate() {
 	dt := r.sim.now - r.lastChange
 	if dt > 0 {
 		r.busyInt += float64(r.busy) * dt
-		r.queueInt += float64(len(r.queue)) * dt
+		r.queueInt += float64(len(r.queue)-r.qhead) * dt
 		r.lastChange = r.sim.now
 	}
+}
+
+// push appends one waiter to the FIFO ring, compacting spent head slots so
+// the backing array is reused instead of regrown.
+func (r *Resource) push(w waiter) {
+	if r.qhead > 0 && len(r.queue) == cap(r.queue) {
+		n := copy(r.queue, r.queue[r.qhead:])
+		for i := n; i < len(r.queue); i++ {
+			r.queue[i] = waiter{}
+		}
+		r.queue = r.queue[:n]
+		r.qhead = 0
+	}
+	r.queue = append(r.queue, w)
+	if q := len(r.queue) - r.qhead; q > r.peakQueue {
+		r.peakQueue = q
+	}
+}
+
+// pop removes and returns the FIFO head; the queue must be non-empty.
+func (r *Resource) pop() waiter {
+	w := r.queue[r.qhead]
+	r.queue[r.qhead] = waiter{}
+	r.qhead++
+	if r.qhead == len(r.queue) {
+		r.queue = r.queue[:0]
+		r.qhead = 0
+	}
+	return w
+}
+
+// fireWake is the single pre-bound wake continuation: it consumes the
+// oldest pending waiter and hands it the server slot transferred by the
+// Release that scheduled this event.
+func (r *Resource) fireWake() {
+	next := r.pend[r.pendHead]
+	r.pend[r.pendHead] = waiter{}
+	r.pendHead++
+	if r.pendHead == len(r.pend) {
+		r.pend = r.pend[:0]
+		r.pendHead = 0
+	}
+	waited := r.sim.now - next.start
+	r.waitInt += waited
+	if next.fire != nil {
+		next.fire(waited)
+		return
+	}
+	r.sim.scheduleRelease(r, next.dt, next.k)
 }
 
 // Acquire obtains one server for process p. If a server is free and nobody
@@ -70,16 +130,13 @@ func (r *Resource) integrate() {
 func (r *Resource) Acquire(p *Process, k func(waited Time)) {
 	r.integrate()
 	r.acquires++
-	if r.busy < r.capacity && len(r.queue) == 0 {
+	if r.busy < r.capacity && r.QueueLen() == 0 {
 		r.busy++
 		k(0)
 		return
 	}
 	r.waits++
-	r.queue = append(r.queue, waiter{fire: k, start: r.sim.now})
-	if len(r.queue) > r.peakQueue {
-		r.peakQueue = len(r.queue)
-	}
+	r.push(waiter{fire: k, start: r.sim.now})
 }
 
 // Release frees one server. If requests are waiting, the head of the queue
@@ -89,21 +146,11 @@ func (r *Resource) Release() {
 	if r.busy == 0 {
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
-	if len(r.queue) > 0 {
-		next := r.queue[0]
-		copy(r.queue, r.queue[1:])
-		r.queue[len(r.queue)-1] = waiter{}
-		r.queue = r.queue[:len(r.queue)-1]
-		// busy stays unchanged: the slot passes straight to next.
-		r.sim.Schedule(0, func() {
-			waited := r.sim.now - next.start
-			r.waitInt += waited
-			if next.fire != nil {
-				next.fire(waited)
-				return
-			}
-			r.sim.scheduleRelease(r, next.dt, next.k)
-		})
+	if r.QueueLen() > 0 {
+		// busy stays unchanged: the slot passes straight to the head
+		// waiter, parked on pend until the pre-bound wake event fires.
+		r.pend = append(r.pend, r.pop())
+		r.sim.Schedule(0, r.wake)
 		return
 	}
 	r.busy--
@@ -118,16 +165,13 @@ func (r *Resource) Use(p *Process, dt Time, k func()) {
 	}
 	r.integrate()
 	r.acquires++
-	if r.busy < r.capacity && len(r.queue) == 0 {
+	if r.busy < r.capacity && r.QueueLen() == 0 {
 		r.busy++
 		r.sim.scheduleRelease(r, dt, k)
 		return
 	}
 	r.waits++
-	r.queue = append(r.queue, waiter{k: k, dt: dt, start: r.sim.now})
-	if len(r.queue) > r.peakQueue {
-		r.peakQueue = len(r.queue)
-	}
+	r.push(waiter{k: k, dt: dt, start: r.sim.now})
 }
 
 // PeakQueueLen returns the maximum wait-queue length observed since the
@@ -136,7 +180,7 @@ func (r *Resource) PeakQueueLen() int { return r.peakQueue }
 
 // ResetPeakQueueLen restarts peak tracking from the current queue length,
 // so callers can observe the peak over a measurement window.
-func (r *Resource) ResetPeakQueueLen() { r.peakQueue = len(r.queue) }
+func (r *Resource) ResetPeakQueueLen() { r.peakQueue = r.QueueLen() }
 
 // BusyIntegral returns ∫ busy dt over [0, now]; callers can snapshot it to
 // compute utilization over a measurement window.

@@ -140,6 +140,34 @@ func MeanCI95(values []float64) (mean, half float64) {
 	return mean, t * sd / math.Sqrt(float64(n))
 }
 
+// MeanCI95Seq is MeanCI95 over a virtual sequence: at(i) yields the i-th
+// of n values. Callers aggregating a metric over stored results use it to
+// avoid materializing a value slice; the two-pass summation order matches
+// MeanCI95 exactly, so both produce bit-identical statistics.
+func MeanCI95Seq(n int, at func(i int) float64) (mean, half float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	for i := 0; i < n; i++ {
+		mean += at(i)
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var m2 float64
+	for i := 0; i < n; i++ {
+		d := at(i) - mean
+		m2 += d * d
+	}
+	sd := math.Sqrt(m2 / float64(n-1))
+	t := 1.96
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
+
 // Percentile returns the p-quantile (0 <= p <= 1) of retained values. It
 // panics if the summary was created without keepValues.
 func (s *Summary) Percentile(p float64) float64 {

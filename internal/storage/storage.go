@@ -124,6 +124,149 @@ type DiskUnit struct {
 	disks       *sim.Resource // nil for SSD
 	cache       *lru.Cache[PageKey, cacheFrame]
 	stats       DiskUnitStats
+
+	// freeOps recycles diskOp records so the steady-state I/O path does
+	// not allocate. The unit belongs to one kernel, so a plain intrusive
+	// list needs no synchronization.
+	freeOps *diskOp
+}
+
+// poolPoison, when true, fills freed diskOps with sentinel garbage so a
+// missing reset in the issue path surfaces in the pool-contract tests.
+var poolPoison = false
+
+// SetPoolPoison toggles freelist poisoning — a debug hook for the
+// pool-contract tests (including cross-package ones); never enable it in
+// production runs.
+func SetPoolPoison(on bool) { poolPoison = on }
+
+// diskOp stages: state names the action to take when step next fires.
+const (
+	opPass       uint8 = iota // controller service done: transmission, then after
+	opFinish                  // run the caller's continuation
+	opDisk                    // one disk access, then the continuation directly
+	opInsert                  // read miss: disk access, then insert a clean frame
+	opInsertDone              // disk access done: insert clean frame, continuation
+	opVolWrite                // volatile-cache write: refresh hit, then disk
+	opNVStore                 // nv-cache write: store dirty frame, destage, continuation
+	opDestage                 // destage scheduled: perform the disk access
+	opDestDone                // destage disk access done: mark frame clean
+)
+
+// diskOp is one in-flight I/O of a unit, pooled on the unit's freelist. It
+// replaces the nested per-stage closures of the naive formulation: step is
+// bound once to run at first allocation, and the state field selects the
+// next stage, so an arbitrary number of I/Os reuse the same records with
+// zero steady-state allocation. Schedule and RNG-draw order are identical
+// to the closure formulation — stage boundaries and Exp draws happen at
+// the same event positions.
+type diskOp struct {
+	u     *DiskUnit
+	p     *sim.Process
+	key   PageKey
+	k     func()
+	state uint8
+	after uint8 // state to enter once the controller pass completes
+	step  func()
+	next  *diskOp // freelist link
+}
+
+// getOp pops a recycled op or allocates one with its step bound.
+func (u *DiskUnit) getOp() *diskOp {
+	op := u.freeOps
+	if op == nil {
+		op = &diskOp{u: u}
+		op.step = op.run
+		return op
+	}
+	u.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+// putOp returns a finished op to the freelist, dropping its references.
+func (u *DiskUnit) putOp(op *diskOp) {
+	op.p, op.k = nil, nil
+	if poolPoison {
+		op.key = PageKey{Partition: -1, Page: -1}
+		op.state, op.after = 0xff, 0xff
+	}
+	op.next = u.freeOps
+	u.freeOps = op
+}
+
+// pass starts an I/O with a controller pass: controller service plus the
+// page transmission, then the after stage (the channel-oriented interface
+// the closure-based controllerPass used to model).
+func (u *DiskUnit) pass(p *sim.Process, key PageKey, k func(), after uint8) {
+	op := u.getOp()
+	op.p, op.key, op.k = p, key, k
+	op.state, op.after = opPass, after
+	u.controllers.Use(p, u.rnd.Exp(u.cfg.ContrDelay), op.step)
+}
+
+// run advances the op by one stage; it is the op's single pre-bound
+// continuation for every resource grant, hold and scheduled event.
+func (op *diskOp) run() {
+	u := op.u
+	switch op.state {
+	case opPass:
+		op.state = op.after
+		if u.cfg.TransDelay > 0 {
+			op.p.Hold(u.cfg.TransDelay, op.step)
+			return
+		}
+		op.run()
+	case opFinish:
+		k := op.k
+		u.putOp(op)
+		k()
+	case opDisk:
+		// The caller's continuation rides the disk grant directly; the op
+		// itself is done once the access is issued.
+		p, k := op.p, op.k
+		u.putOp(op)
+		u.stats.DiskAccesses++
+		u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay), k)
+	case opInsert:
+		op.state = opInsertDone
+		u.stats.DiskAccesses++
+		u.disks.Use(op.p, u.rnd.Exp(u.cfg.DiskDelay), op.step)
+	case opInsertDone:
+		if !u.cfg.WriteBufferOnly {
+			u.insertClean(op.key)
+		}
+		k := op.k
+		u.putOp(op)
+		k()
+	case opVolWrite:
+		if _, hit := u.cache.Peek(op.key); hit {
+			u.stats.WriteHits++
+			u.cache.Put(op.key, cacheFrame{dirty: false}) // refresh copy + LRU
+		}
+		p, k := op.p, op.k
+		u.putOp(op)
+		u.stats.DiskAccesses++
+		u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay), k)
+	case opNVStore:
+		key, k := op.key, op.k
+		u.cache.Put(key, cacheFrame{dirty: true})
+		u.startDestage(key)
+		u.putOp(op)
+		k()
+	case opDestage:
+		op.state = opDestDone
+		u.stats.DiskAccesses++
+		u.disks.Use(nil, u.rnd.Exp(u.cfg.DiskDelay), op.step)
+	case opDestDone:
+		// The frame becomes clean once the disk copy is current (it may
+		// have been evicted... only clean frames are evictable, and this
+		// frame was dirty, so it is still cached unless rewritten).
+		if f, ok := u.cache.Peek(op.key); ok && f.dirty {
+			u.cache.Update(op.key, cacheFrame{dirty: false})
+		}
+		u.putOp(op)
+	}
 }
 
 // NewDiskUnit builds a disk-unit inside s.
@@ -163,24 +306,6 @@ func (u *DiskUnit) DiskUtilization() float64 {
 	return u.disks.Utilization()
 }
 
-// controllerPass models the channel-oriented interface: controller service
-// plus the page transmission, then k.
-func (u *DiskUnit) controllerPass(p *sim.Process, k func()) {
-	u.controllers.Use(p, u.rnd.Exp(u.cfg.ContrDelay), func() {
-		if u.cfg.TransDelay > 0 {
-			p.Hold(u.cfg.TransDelay, k)
-			return
-		}
-		k()
-	})
-}
-
-// diskAccess models one physical disk server access, then k.
-func (u *DiskUnit) diskAccess(p *sim.Process, k func()) {
-	u.stats.DiskAccesses++
-	u.disks.Use(p, u.rnd.Exp(u.cfg.DiskDelay), k)
-}
-
 // Read performs a read I/O for key, delaying p for the device delay before
 // running k. For cache units a read hit avoids the disk access; after a read
 // miss the page is stored in the cache (possibly evicting; non-volatile
@@ -190,25 +315,18 @@ func (u *DiskUnit) Read(p *sim.Process, key PageKey, k func()) {
 	u.stats.Reads++
 	switch u.cfg.Type {
 	case SSD:
-		u.controllerPass(p, k)
+		u.pass(p, key, k, opFinish)
 	case Regular:
-		u.controllerPass(p, func() { u.diskAccess(p, k) })
+		u.pass(p, key, k, opDisk)
 	case VolatileCache, NVCache:
 		if !u.cfg.WriteBufferOnly {
 			if _, hit := u.cache.Get(key); hit {
 				u.stats.ReadHits++
-				u.controllerPass(p, k)
+				u.pass(p, key, k, opFinish)
 				return
 			}
 		}
-		u.controllerPass(p, func() {
-			u.diskAccess(p, func() {
-				if !u.cfg.WriteBufferOnly {
-					u.insertClean(key)
-				}
-				k()
-			})
-		})
+		u.pass(p, key, k, opInsert)
 	}
 }
 
@@ -245,17 +363,11 @@ func (u *DiskUnit) Write(p *sim.Process, key PageKey, k func()) {
 	u.stats.Writes++
 	switch u.cfg.Type {
 	case SSD:
-		u.controllerPass(p, k)
+		u.pass(p, key, k, opFinish)
 	case Regular:
-		u.controllerPass(p, func() { u.diskAccess(p, k) })
+		u.pass(p, key, k, opDisk)
 	case VolatileCache:
-		u.controllerPass(p, func() {
-			if _, hit := u.cache.Peek(key); hit {
-				u.stats.WriteHits++
-				u.cache.Put(key, cacheFrame{dirty: false}) // refresh copy + LRU
-			}
-			u.diskAccess(p, k)
-		})
+		u.pass(p, key, k, opVolWrite)
 	case NVCache:
 		u.writeNV(p, key, k)
 	}
@@ -266,11 +378,7 @@ func (u *DiskUnit) writeNV(p *sim.Process, key PageKey, k func()) {
 	if _, hit := u.cache.Peek(key); hit {
 		// Write hit: always satisfiable — no replacement needed.
 		u.stats.WriteHits++
-		u.controllerPass(p, func() {
-			u.cache.Put(key, cacheFrame{dirty: true})
-			u.startDestage(key)
-			k()
-		})
+		u.pass(p, key, k, opNVStore)
 		return
 	}
 	// Write miss: need a frame; replace the LRU clean page.
@@ -279,34 +387,26 @@ func (u *DiskUnit) writeNV(p *sim.Process, key PageKey, k func()) {
 		if !ok {
 			// All cached pages have destages in flight: go directly to disk.
 			u.stats.SyncDiskWrites++
-			u.controllerPass(p, func() { u.diskAccess(p, k) })
+			u.pass(p, key, k, opDisk)
 			return
 		}
 		u.cache.Remove(victim)
 	}
-	u.controllerPass(p, func() {
-		u.cache.Put(key, cacheFrame{dirty: true})
-		u.startDestage(key)
-		k()
-	})
+	u.pass(p, key, k, opNVStore)
 }
 
 // startDestage immediately starts the asynchronous disk update for a
 // modified page stored in the non-volatile cache ("we immediately start the
-// disk update when a modified page is stored in the disk cache").
+// disk update when a modified page is stored in the disk cache"). The
+// destage rides a pooled op through a +0 event, just like the spawned
+// process it replaces, so the event order is unchanged.
 func (u *DiskUnit) startDestage(key PageKey) {
 	u.stats.CacheWrites++
 	u.stats.Destages++
-	u.sim.Spawn(u.cfg.Name+"/destage", 0, func(p *sim.Process) {
-		u.diskAccess(p, func() {
-			// The frame becomes clean once the disk copy is current (it may
-			// have been evicted... only clean frames are evictable, and this
-			// frame was dirty, so it is still cached unless rewritten).
-			if f, ok := u.cache.Peek(key); ok && f.dirty {
-				u.cache.Update(key, cacheFrame{dirty: false})
-			}
-		})
-	})
+	op := u.getOp()
+	op.p, op.key, op.k = nil, key, nil
+	op.state, op.after = opDestage, opDestage
+	u.sim.Schedule(0, op.step)
 }
 
 // CrashVolatile clears cache content that does not survive a system

@@ -5,6 +5,13 @@
 # by more than the tolerance (a one-iteration run on shared CI hardware is
 # noisy; real regressions on these stressors dwarf 30%).
 #
+# Allocation gate: for the pooled transaction path (EngineDebitCredit*,
+# LockManager, PDESScaleout) allocs/op is additionally gated two-sided at
+# ±20% against the same baseline. Allocation counts are deterministic, so
+# a breach in either direction is a real change: above means the zero-alloc
+# discipline regressed; below means the baseline is stale and should be
+# refreshed via scripts/bench_json.sh.
+#
 # BenchmarkPDESScaleout additionally reports the wall-clock speedup of the
 # 8-worker barrier pool over the serial coordinator; that speedup is gated
 # against a floor scaled to the host's core count — 2.5x on 8+ cores,
@@ -15,11 +22,17 @@
 # Usage:
 #   ./scripts/bench_check.sh                    # default benches + tolerance
 #   BENCH=BenchmarkSimKernel TOLERANCE=50 ./scripts/bench_check.sh
+#   ALLOC_TOLERANCE=10 ./scripts/bench_check.sh # tighten the alloc gate
 #   SPEEDUP_FLOOR=3.0 ./scripts/bench_check.sh  # override the scaled floor
 set -eu
 cd "$(dirname "$0")/.."
-benches="${BENCH:-BenchmarkKernelHeap10M BenchmarkPDESScaleout}"
+benches="${BENCH:-BenchmarkKernelHeap10M BenchmarkPDESScaleout BenchmarkEngineDebitCreditDisk BenchmarkEngineDebitCreditNVEM BenchmarkLockManager}"
 tolerance="${TOLERANCE:-30}" # percent slower than baseline that still passes
+alloc_tolerance="${ALLOC_TOLERANCE:-20}" # percent allocs/op drift, either way
+alloc_benches="BenchmarkEngineDebitCreditDisk BenchmarkEngineDebitCreditNVEM BenchmarkLockManager BenchmarkPDESScaleout"
+# Benches whose ns/op is gated. LockManager is alloc-gated only: a single
+# microsecond-scale iteration is scheduler noise, not a drift signal.
+ns_benches="BenchmarkKernelHeap10M BenchmarkPDESScaleout BenchmarkEngineDebitCreditDisk BenchmarkEngineDebitCreditNVEM"
 
 baseline=$(ls BENCH_*.json | sort | tail -n 1)
 if [ -z "$baseline" ]; then
@@ -39,7 +52,7 @@ for bench in $benches; do
     old=$(sed -n "s/.*\"name\": \"${bench}\".*\"ns\/op\": \([0-9]*\).*/\1/p" "$baseline")
 
     tmp="$(mktemp)"
-    go test -run '^$' -bench "^${bench}\$" -benchtime 1x . | tee "$tmp"
+    go test -run '^$' -bench "^${bench}\$" -benchtime 1x -benchmem . | tee "$tmp"
     new=$(awk -v b="$bench" '$1 ~ "^"b { print $3; exit }' "$tmp")
     if [ -z "$new" ]; then
         echo "bench_check: ${bench} produced no result" >&2
@@ -47,9 +60,14 @@ for bench in $benches; do
         exit 1
     fi
 
+    case " $ns_benches " in
+    *" $bench "*) ;;
+    *) old="" ;; # alloc-gated only; one micro-scale iteration is noise
+    esac
     if [ -z "$old" ]; then
-        # A baseline predating this benchmark: nothing to drift against.
-        echo "${bench}: no baseline in ${baseline}, drift gate skipped"
+        # A baseline predating this benchmark (or an alloc-gated-only
+        # microbenchmark): nothing to drift against.
+        echo "${bench}: ns/op drift not gated"
     else
         awk -v old="$old" -v new="$new" -v tol="$tolerance" -v bench="$bench" -v base="$baseline" 'BEGIN {
             delta = 100 * (new - old) / old
@@ -61,6 +79,34 @@ for bench in $benches; do
             }
         }' || status=1
     fi
+
+    case " $alloc_benches " in *" $bench "*)
+        old_allocs=$(sed -n "s/.*\"name\": \"${bench}\".*\"allocs\/op\": \([0-9]*\).*/\1/p" "$baseline")
+        new_allocs=$(awk -v b="$bench" '$1 ~ "^"b { for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") { print $i; exit } }' "$tmp")
+        if [ -z "$new_allocs" ]; then
+            echo "bench_check: ${bench} reported no allocs/op" >&2
+            rm -f "$tmp"
+            exit 1
+        fi
+        if [ -z "$old_allocs" ]; then
+            echo "${bench}: no allocs/op baseline in ${baseline}, alloc gate skipped"
+        else
+            awk -v old="$old_allocs" -v new="$new_allocs" -v tol="$alloc_tolerance" -v bench="$bench" -v base="$baseline" 'BEGIN {
+                if (old == 0) { delta = (new == 0 ? 0 : 100) } else { delta = 100 * (new - old) / old }
+                printf "%-24s  old %d allocs/op (%s)  new %d allocs/op  delta %+.1f%% (gate: +/-%s%%)\n",
+                    bench, old, base, new, delta, tol
+                if (delta > tol) {
+                    printf "bench_check: %s allocs/op regressed beyond tolerance\n", bench
+                    exit 1
+                }
+                if (delta < -tol) {
+                    printf "bench_check: %s allocs/op improved past the gate; refresh the baseline (scripts/bench_json.sh)\n", bench
+                    exit 1
+                }
+            }' || status=1
+        fi
+        ;;
+    esac
 
     if [ "$bench" = "BenchmarkPDESScaleout" ]; then
         speedup=$(awk -v b="$bench" '$1 ~ "^"b { for (i = 3; i < NF; i++) if ($(i+1) == "speedup") { print $i; exit } }' "$tmp")

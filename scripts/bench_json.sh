@@ -12,7 +12,18 @@ set -eu
 cd "$(dirname "$0")/.."
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
+# Never clobber a committed snapshot from the same day: suffix with b, c,
+# ... so intra-day before/after pairs both stay in the trajectory (and
+# bench_check.sh's `sort | tail -1` still picks the newest).
 out="BENCH_$(date +%Y-%m-%d).json"
+for suffix in b c d e f g h i j k; do
+    [ -e "$out" ] || break
+    out="BENCH_$(date +%Y-%m-%d)${suffix}.json"
+done
+if [ -e "$out" ]; then
+    echo "bench_json: all suffixed names for today exist; refusing to clobber $out" >&2
+    exit 1
+fi
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
